@@ -1,0 +1,63 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure of the (reconstructed)
+evaluation — see DESIGN.md's per-experiment index.  Results are printed and
+also written to ``benchmarks/results/<name>.txt`` so the harness output
+survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Sequence
+
+from repro.sim.experiment import ExperimentConfig, ExperimentResult, \
+    run_experiment
+from repro.sim.render import format_rows, format_table
+from repro.sim.sweeps import average_results
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Seeds used for replication in every sweep benchmark.
+SEEDS = (1, 2)
+
+
+def replicated(config: ExperimentConfig,
+               seeds: Sequence[int] = SEEDS) -> ExperimentResult:
+    """Run ``config`` once per seed and average."""
+    results = []
+    for seed in seeds:
+        scenario = config.scenario.with_seed(seed)
+        results.append(run_experiment(
+            _replace_scenario(config, scenario)))
+    return average_results(results)
+
+
+def _replace_scenario(config: ExperimentConfig, scenario):
+    from dataclasses import replace
+    return replace(config, scenario=scenario)
+
+
+def emit(name: str, title: str, rows: List[Dict[str, object]]) -> str:
+    """Render, print, and persist one experiment table."""
+    table = f"== {title} ==\n{format_rows(rows)}\n"
+    print(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(table)
+    return table
+
+
+def emit_table(name: str, title: str, headers: Sequence[str],
+               rows) -> str:
+    table = f"== {title} ==\n{format_table(headers, rows)}\n"
+    print(table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(table)
+    return table
+
+
+def once(benchmark, fn: Callable[[], object]):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import os
+
+# Make `common` importable when pytest is invoked from the repo root.
+sys.path.insert(0, os.path.dirname(__file__))

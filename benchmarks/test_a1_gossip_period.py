@@ -1,0 +1,56 @@
+"""A1 — Gossip period vs recovery latency/overhead trade-off.
+
+The ``gossip_timeout`` term dominates §3.5's ``max_timeout``: halving the
+gossip period roughly halves the recovery latency but multiplies the gossip
+packet rate.  Run with mute overlay nodes so the recovery path is the one
+being measured.
+"""
+
+from dataclasses import replace
+
+from repro.core.config import ProtocolConfig
+from repro.core.node import NodeStackConfig
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.scenarios import AdversaryMix, ScenarioConfig
+
+from common import emit, once, replicated
+
+N = 30
+PERIODS = (0.5, 1.0, 2.0, 4.0)
+WORKLOAD = dict(message_count=5, message_interval=2.0, warmup=8.0,
+                drain=30.0)
+
+
+def run_sweep():
+    rows = []
+    for period in PERIODS:
+        protocol = ProtocolConfig(gossip_period=period,
+                                  gossip_advertise_ttl=6 * period)
+        scenario = ScenarioConfig(n=N, adversaries=AdversaryMix.mute(5))
+        result = replicated(ExperimentConfig(
+            scenario=scenario, stack=NodeStackConfig(protocol=protocol),
+            **WORKLOAD))
+        rows.append({
+            "gossip_period_s": period,
+            "delivery": round(result.delivery_ratio, 4),
+            "mean_completion_s": round(result.mean_completion_latency, 3)
+            if result.mean_completion_latency is not None else None,
+            "gossip_tx/bcast": round(
+                result.physical.get("tx_gossip", 0) / result.broadcasts, 1),
+        })
+    return rows
+
+
+def test_a1_gossip_period(benchmark):
+    rows = once(benchmark, run_sweep)
+    emit("a1_gossip_period",
+         f"A1: gossip period trade-off (n={N}, 5 mute overlay nodes)", rows)
+    # Slower gossip → fewer gossip packets...
+    gossip_costs = [r["gossip_tx/bcast"] for r in rows]
+    assert gossip_costs[0] > gossip_costs[-1]
+    # ...but slower recovery at the slowest setting vs the fastest.
+    fast = rows[0]["mean_completion_s"]
+    slow = rows[-1]["mean_completion_s"]
+    assert slow > fast
+    for row in rows:
+        assert row["delivery"] >= 0.99

@@ -1,0 +1,59 @@
+"""A3 — Gossip aggregation and piggybacking.
+
+"As gossips are sent periodically, multiple gossip messages are aggregated
+into one packet, thereby greatly reducing the number of messages generated
+by the protocol."  Compares packet counts with aggregation disabled
+(one entry per packet), enabled, and additionally with footnote-5
+piggybacking of the first gossip on the DATA packet.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.core.node import NodeStackConfig
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.scenarios import ScenarioConfig
+
+from common import emit, once, replicated
+
+N = 30
+WORKLOAD = dict(message_count=10, message_interval=0.5, warmup=8.0,
+                drain=12.0)
+
+VARIANTS = (
+    ("no aggregation", ProtocolConfig(gossip_aggregation_limit=1,
+                                      piggyback_gossip=False)),
+    ("aggregated", ProtocolConfig(piggyback_gossip=False)),
+    ("aggregated + piggyback", ProtocolConfig()),
+)
+
+
+def run_sweep():
+    rows = []
+    for label, protocol in VARIANTS:
+        scenario = ScenarioConfig(n=N)
+        result = replicated(ExperimentConfig(
+            scenario=scenario, stack=NodeStackConfig(protocol=protocol),
+            **WORKLOAD))
+        rows.append({
+            "variant": label,
+            "gossip_tx/bcast": round(
+                result.physical.get("tx_gossip", 0) / result.broadcasts, 1),
+            "gossip_bytes/bcast": round(
+                result.physical.get("bytes_gossip", 0) / result.broadcasts),
+            "delivery": round(result.delivery_ratio, 4),
+        })
+    return rows
+
+
+def test_a3_gossip_aggregation(benchmark):
+    rows = once(benchmark, run_sweep)
+    emit("a3_gossip_aggregation",
+         f"A3: gossip aggregation and piggybacking (n={N}, 10 msgs)", rows)
+    by_variant = {r["variant"]: r for r in rows}
+    # Aggregation greatly reduces the gossip packet count...
+    assert (by_variant["aggregated"]["gossip_tx/bcast"]
+            < 0.7 * by_variant["no aggregation"]["gossip_tx/bcast"])
+    # ...and the un-aggregated packet storm costs delivery via collisions.
+    assert (by_variant["aggregated"]["delivery"]
+            >= by_variant["no aggregation"]["delivery"])
+    assert by_variant["aggregated"]["delivery"] >= 0.99
+    assert by_variant["aggregated + piggyback"]["delivery"] >= 0.99

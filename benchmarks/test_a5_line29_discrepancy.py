@@ -1,0 +1,93 @@
+"""A5 — The line-29 pseudo-code/proof discrepancy, demonstrated.
+
+The paper's pseudo-code never REQUESTs a missing message from its
+*originator* (Figure 3, line 29), but the Theorem 3.2 proof requires that
+any holder l "if requested by its neighbors ... will also send m".  A node
+whose only holding neighbor is the originator therefore deadlocks under
+the literal rule.
+
+Deterministic construction: line 0—1—2; node 1 loses the originator's
+initial DATA transmission (modelled as one dropped reception — in reality
+a collision).  Node 1's only neighbor holding the message is the
+originator, so under the literal rule it never requests, and node 2 — who
+can only be reached through node 1 — starves too.  With the proof-faithful
+default both recover.
+
+DESIGN.md documents the resolution (default: follow the proof).
+"""
+
+from typing import Any
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import DATA, DataMessage
+from repro.core.node import NetworkNode, NodeStackConfig
+from repro.core.protocol import NodeBehavior
+from repro.crypto.keystore import HmacScheme, KeyDirectory
+from repro.des.kernel import Simulator
+from repro.des.random import StreamFactory
+from repro.radio.geometry import Position
+from repro.radio.medium import Medium
+
+from common import emit, once
+
+LINE = [(0.0, 0.0), (80.0, 0.0), (160.0, 0.0)]
+
+
+class DropFirstData(NodeBehavior):
+    """Simulates one unlucky collision: the first incoming DATA is lost."""
+
+    def __init__(self) -> None:
+        self._dropped = False
+
+    def intercept_incoming(self, kind: str, message: Any,
+                           link_sender: int) -> bool:
+        if kind == DATA and isinstance(message, DataMessage) \
+                and not self._dropped:
+            self._dropped = True
+            return True
+        return False
+
+
+def run_variant(request_from_originator: bool):
+    sim = Simulator()
+    streams = StreamFactory(3)
+    medium = Medium(sim, streams.stream("medium"))
+    directory = KeyDirectory(HmacScheme(seed=b"a5"))
+    stack = NodeStackConfig(protocol=ProtocolConfig(
+        request_from_originator=request_from_originator))
+    nodes = [NetworkNode(sim, medium, i, Position(*LINE[i]), 100.0,
+                         streams, directory, stack,
+                         behavior=DropFirstData() if i == 1 else None)
+             for i in range(3)]
+    for node in nodes:
+        node.start()
+    sim.run(until=8.0)
+    msg_id = nodes[0].broadcast(b"will node 1 ever see this?")
+    sim.run(until=sim.now + 40.0)
+    received = [any(rec[2] == msg_id for rec in node.accepted)
+                for node in nodes]
+    return {
+        "variant": ("proof-faithful (default)" if request_from_originator
+                    else "literal line 29"),
+        "node1_received": received[1],
+        "node2_received": received[2],
+    }
+
+
+def run_comparison():
+    return [run_variant(False), run_variant(True)]
+
+
+def test_a5_line29_discrepancy(benchmark):
+    rows = once(benchmark, run_comparison)
+    emit("a5_line29_discrepancy",
+         "A5: line-29 originator-request rule (0—1—2 line, first DATA "
+         "reception at node 1 lost)", rows)
+    literal = next(r for r in rows if "literal" in r["variant"])
+    fixed = next(r for r in rows if "default" in r["variant"])
+    # The literal rule deadlocks both downstream nodes...
+    assert not literal["node1_received"]
+    assert not literal["node2_received"]
+    # ...the proof-faithful rule recovers them.
+    assert fixed["node1_received"]
+    assert fixed["node2_received"]

@@ -1,0 +1,69 @@
+"""E12 — Scale and energy (extension experiment).
+
+Two questions the paper's motivation raises but the truncated results
+can't answer:
+
+* does the protocol hold up at the **hundred-node scale** ad-hoc
+  deployments imply?  (single n=100 run, full fault mix);
+* what does dissemination **cost in joules** — the battery currency that
+  motivates selfish behaviour — compared to flooding?
+
+Energy uses the WaveLAN-style linear airtime model of
+:mod:`repro.radio.energy`.
+"""
+
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.scenarios import AdversaryMix, ScenarioConfig
+
+from common import emit, once, replicated
+
+WORKLOAD = dict(message_count=5, message_interval=1.5, warmup=10.0,
+                drain=20.0)
+
+
+def run_measurement():
+    rows = []
+    # --- scale: n=100 with 10% mute nodes -------------------------------
+    scenario = ScenarioConfig(n=100, adversaries=AdversaryMix.mute(10),
+                              target_degree=9.0)
+    result = replicated(ExperimentConfig(scenario=scenario, **WORKLOAD),
+                        seeds=(1,))
+    rows.append({
+        "experiment": "scale n=100, 10 mute",
+        "protocol": "byzcast",
+        "delivery": round(result.delivery_ratio, 4),
+        "tx/bcast": round(result.transmissions_per_broadcast, 1),
+        "J_total": round(result.energy["tx_joules"]
+                         + result.energy["rx_joules"], 2),
+        "J_hottest_node": round(result.energy["max_node_joules"], 3),
+    })
+    # --- energy: byzcast vs flooding at n=40 -----------------------------
+    scenario = ScenarioConfig(n=40)
+    for protocol in ("byzcast", "flooding"):
+        result = replicated(ExperimentConfig(
+            scenario=scenario, protocol=protocol, **WORKLOAD))
+        rows.append({
+            "experiment": "energy n=40, fault-free",
+            "protocol": protocol,
+            "delivery": round(result.delivery_ratio, 4),
+            "tx/bcast": round(result.transmissions_per_broadcast, 1),
+            "J_total": round(result.energy["tx_joules"]
+                             + result.energy["rx_joules"], 2),
+            "J_hottest_node": round(result.energy["max_node_joules"], 3),
+        })
+    return rows
+
+
+def test_e12_scale_energy(benchmark):
+    rows = once(benchmark, run_measurement)
+    emit("e12_scale_energy", "E12: hundred-node scale and energy cost",
+         rows)
+    scale = rows[0]
+    assert scale["delivery"] >= 0.999  # full delivery at n=100, 10 mute
+    byzcast = next(r for r in rows if r["experiment"].startswith("energy")
+                   and r["protocol"] == "byzcast")
+    flooding = next(r for r in rows if r["protocol"] == "flooding")
+    # The hottest node (the busiest relay) matters for battery fairness:
+    # neither protocol may burn an order of magnitude more than the other.
+    assert byzcast["J_hottest_node"] < 10 * flooding["J_hottest_node"]
+    assert byzcast["delivery"] >= flooding["delivery"]

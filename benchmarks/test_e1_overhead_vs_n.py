@@ -1,0 +1,65 @@
+"""E1 — Failure-free message overhead vs network size.
+
+Reconstructs the paper's headline comparison ("The use of an overlay
+results in a significant reduction in the number of messages"): packets and
+bytes per broadcast for the protocol vs flooding, overlay-only
+dissemination, and f+1 node-independent overlays.
+
+Qualitative claims this bench must reproduce:
+* flooding costs ~n DATA transmissions per broadcast;
+* the protocol's DATA cost tracks the (much smaller) overlay size;
+* the f+1-overlays baseline pays roughly (f+1)× the single-overlay cost —
+  more than the protocol even though both tolerate f faults.
+"""
+
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.scenarios import ScenarioConfig
+
+from common import emit, once, replicated
+
+NS = (20, 40, 60)
+WORKLOAD = dict(message_count=8, message_interval=1.0, warmup=8.0,
+                drain=12.0)
+ASSUMED_F = 3  # the f the multi-overlay baseline provisions for
+
+
+def run_sweep():
+    rows = []
+    for n in NS:
+        scenario = ScenarioConfig(n=n)
+        for protocol in ("byzcast", "flooding", "overlay_only",
+                         "multi_overlay"):
+            result = replicated(ExperimentConfig(
+                scenario=scenario, protocol=protocol,
+                overlay_count=ASSUMED_F + 1, **WORKLOAD))
+            rows.append({
+                "n": n,
+                "protocol": protocol,
+                "data_tx/bcast": round(
+                    result.data_transmissions_per_broadcast, 1),
+                "all_tx/bcast": round(
+                    result.transmissions_per_broadcast, 1),
+                "bytes/bcast": round(result.bytes_per_broadcast),
+                "delivery": round(result.delivery_ratio, 3),
+            })
+    return rows
+
+
+def test_e1_overhead_vs_n(benchmark):
+    rows = once(benchmark, run_sweep)
+    emit("e1_overhead_vs_n",
+         "E1: failure-free overhead vs n (per broadcast)", rows)
+    by_key = {(r["n"], r["protocol"]): r for r in rows}
+    for n in NS:
+        flooding = by_key[(n, "flooding")]["data_tx/bcast"]
+        byzcast = by_key[(n, "byzcast")]["data_tx/bcast"]
+        overlay = by_key[(n, "overlay_only")]["data_tx/bcast"]
+        multi = by_key[(n, "multi_overlay")]["data_tx/bcast"]
+        # Flooding sends one DATA per node.
+        assert flooding >= 0.95 * n
+        # The protocol's dissemination cost is far below flooding...
+        assert byzcast < 0.8 * flooding
+        # ...and in the same regime as a single overlay.
+        assert byzcast < 2.5 * overlay
+        # f+1 overlays cost a multiple of one overlay and exceed ours.
+        assert multi > byzcast

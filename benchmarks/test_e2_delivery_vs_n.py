@@ -1,0 +1,48 @@
+"""E2 — Failure-free delivery ratio vs network size.
+
+All Byzantine-free protocols should deliver nearly everything, but without
+a recovery mechanism collision losses become permanent: overlay-only
+dissemination degrades as density (and hence the collision rate) grows,
+while the protocol's gossip/recovery path keeps delivery at 1.
+"""
+
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.scenarios import ScenarioConfig
+
+from common import emit, once, replicated
+
+NS = (20, 40, 60)
+WORKLOAD = dict(message_count=8, message_interval=1.0, warmup=8.0,
+                drain=15.0)
+
+
+def run_sweep():
+    rows = []
+    for n in NS:
+        scenario = ScenarioConfig(n=n)
+        for protocol in ("byzcast", "flooding", "overlay_only"):
+            result = replicated(ExperimentConfig(
+                scenario=scenario, protocol=protocol, **WORKLOAD))
+            rows.append({
+                "n": n,
+                "protocol": protocol,
+                "delivery": round(result.delivery_ratio, 4),
+                "complete_msgs": round(result.complete_fraction, 3),
+            })
+    return rows
+
+
+def test_e2_delivery_vs_n(benchmark):
+    rows = once(benchmark, run_sweep)
+    emit("e2_delivery_vs_n", "E2: failure-free delivery ratio vs n", rows)
+    by_key = {(r["n"], r["protocol"]): r for r in rows}
+    for n in NS:
+        byzcast = by_key[(n, "byzcast")]["delivery"]
+        overlay = by_key[(n, "overlay_only")]["delivery"]
+        # Recovery closes every gap.
+        assert byzcast >= 0.999
+        # A bare overlay leaks messages to collisions.
+        assert byzcast >= overlay
+    # And the leak worsens with scale for the bare overlay.
+    assert (by_key[(60, "overlay_only")]["delivery"]
+            < by_key[(20, "overlay_only")]["delivery"] + 0.01)

@@ -1,0 +1,49 @@
+"""E3 — Failure-free dissemination latency vs network size.
+
+Overlay-path deliveries are fast (multi-hop MAC latency); the recovery tail
+adds up to roughly one gossip+request+rebroadcast cycle for receptions that
+needed it.  Every completion must stay far below the §3.5 worst-case bound
+``max_timeout·(n−1)``.
+"""
+
+from repro.core.config import ProtocolConfig
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.scenarios import ScenarioConfig
+
+from common import emit, once, replicated
+
+NS = (20, 40, 60)
+WORKLOAD = dict(message_count=8, message_interval=1.0, warmup=8.0,
+                drain=15.0)
+
+
+def run_sweep():
+    rows = []
+    for n in NS:
+        scenario = ScenarioConfig(n=n)
+        for protocol in ("byzcast", "flooding"):
+            result = replicated(ExperimentConfig(
+                scenario=scenario, protocol=protocol, **WORKLOAD))
+            rows.append({
+                "n": n,
+                "protocol": protocol,
+                "mean_latency_s": round(result.mean_latency, 4),
+                "max_latency_s": round(result.max_latency, 4),
+                "mean_completion_s": round(
+                    result.mean_completion_latency, 4)
+                if result.mean_completion_latency is not None else None,
+            })
+    return rows
+
+
+def test_e3_latency_vs_n(benchmark):
+    rows = once(benchmark, run_sweep)
+    emit("e3_latency_vs_n", "E3: failure-free latency vs n (seconds)", rows)
+    bound_config = ProtocolConfig()
+    for row in rows:
+        if row["protocol"] != "byzcast":
+            continue
+        bound = bound_config.max_timeout() * (row["n"] - 1)
+        # Mean path latency is MAC-scale (tens of ms), far below the bound.
+        assert row["mean_latency_s"] < 0.5
+        assert row["max_latency_s"] < bound

@@ -1,0 +1,50 @@
+"""E6 — Message overhead vs number of mute overlay nodes.
+
+Each recovery costs extra REQUEST/FIND/DATA packets, so overhead grows with
+the fault level — but the total stays well below what flooding (the only
+other fault-oblivious-delivery option at this fault level) pays for every
+message everywhere.
+"""
+
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.scenarios import AdversaryMix, ScenarioConfig
+
+from common import emit, once, replicated
+
+N = 40
+MUTE_COUNTS = (0, 4, 8)
+WORKLOAD = dict(message_count=6, message_interval=1.5, warmup=8.0,
+                drain=20.0)
+
+
+def run_sweep():
+    rows = []
+    for mute in MUTE_COUNTS:
+        scenario = ScenarioConfig(n=N, adversaries=AdversaryMix.mute(mute))
+        result = replicated(ExperimentConfig(scenario=scenario, **WORKLOAD))
+        recovery_tx = (result.physical.get("tx_request", 0)
+                       + result.physical.get("tx_find_missing", 0))
+        rows.append({
+            "mute_nodes": mute,
+            "data_tx/bcast": round(
+                result.data_transmissions_per_broadcast, 1),
+            "recovery_tx/bcast": round(recovery_tx / result.broadcasts, 1),
+            "all_tx/bcast": round(result.transmissions_per_broadcast, 1),
+            "bytes/bcast": round(result.bytes_per_broadcast),
+            "delivery": round(result.delivery_ratio, 4),
+        })
+    return rows
+
+
+def test_e6_overhead_vs_mute(benchmark):
+    rows = once(benchmark, run_sweep)
+    emit("e6_overhead_vs_mute",
+         f"E6: protocol overhead vs mute overlay nodes (n={N})", rows)
+    base, worst = rows[0], rows[-1]
+    # Recovery traffic appears once there are mute nodes.
+    assert worst["recovery_tx/bcast"] > base["recovery_tx/bcast"]
+    # Dissemination cost stays below flooding's n DATA packets per message
+    # at every fault level.
+    for row in rows:
+        assert row["data_tx/bcast"] < N
+        assert row["delivery"] >= 0.999

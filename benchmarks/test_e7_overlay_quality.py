@@ -1,0 +1,63 @@
+"""E7 — Overlay quality: CDS vs MIS+B, with and without mute members.
+
+Measures the two properties the correctness argument needs from the
+overlay (Lemmas 3.5/3.9) — the correct members form a connected graph and
+cover every correct node — plus the efficiency metric the paper optimizes
+(overlay size as a fraction of n).
+"""
+
+from repro.core.node import NodeStackConfig
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.scenarios import AdversaryMix, ScenarioConfig
+
+from common import emit, once, replicated
+
+NS = (30, 60)
+MUTE_FRACTION = 0.2
+WORKLOAD = dict(message_count=4, message_interval=1.5, warmup=10.0,
+                drain=15.0)
+
+
+def run_sweep():
+    rows = []
+    for n in NS:
+        for rule in ("cds", "mis+b"):
+            for mute in (0, int(MUTE_FRACTION * n)):
+                scenario = ScenarioConfig(
+                    n=n, adversaries=AdversaryMix.mute(mute))
+                config = ExperimentConfig(
+                    scenario=scenario,
+                    stack=NodeStackConfig(overlay_rule=rule), **WORKLOAD)
+                result = replicated(config)
+                quality = result.overlay_quality
+                rows.append({
+                    "n": n,
+                    "rule": rule,
+                    "mute_nodes": mute,
+                    "overlay_frac": round(quality.overlay_fraction, 3),
+                    "coverage": round(quality.coverage, 3),
+                    "connected": quality.correct_overlay_connected,
+                    "delivery": round(result.delivery_ratio, 4),
+                })
+    return rows
+
+
+def test_e7_overlay_quality(benchmark):
+    rows = once(benchmark, run_sweep)
+    emit("e7_overlay_quality", "E7: overlay quality (CDS vs MIS+B)", rows)
+    for row in rows:
+        # The overlay is a sparse backbone, not the whole network.
+        assert row["overlay_frac"] < 0.95
+        # Coverage of correct nodes stays high even with mute members
+        # (gossip recovery patches the remainder — delivery is the proof).
+        assert row["delivery"] >= 0.99
+    failure_free = [r for r in rows if r["mute_nodes"] == 0]
+    for row in failure_free:
+        assert row["coverage"] >= 0.95
+    # CDS guarantees a connected backbone when failure-free; MIS+B's
+    # distance-3 bridge election is heuristic at 2-hop locality and its
+    # snapshot may momentarily miss a connector (delivery is unaffected —
+    # asserted above), so connectivity is asserted for CDS only.
+    for row in failure_free:
+        if row["rule"] == "cds":
+            assert row["connected"]

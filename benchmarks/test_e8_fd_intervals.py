@@ -1,0 +1,102 @@
+"""E8 — Interval failure-detector effectiveness (I_mute semantics, §2.2).
+
+Measures, on a diamond topology with a mute overlay node:
+
+* **Interval local completeness** (Lemma 3.7): a node that is mute during a
+  mute interval gets suspected by some correct neighbor within a bounded
+  suspicion interval;
+* **Interval strong accuracy** (Lemma 3.8): correct nodes accumulate no
+  lasting suspicion during timely periods;
+* **recovery**: once the fault clears (the detector's aging), the
+  suspicion decays — the interval, not forever, semantics.
+"""
+
+from repro.adversary.behaviors import MuteBehavior
+from repro.crypto.keystore import HmacScheme, KeyDirectory
+from repro.core.node import NetworkNode, NodeStackConfig
+from repro.des.kernel import Simulator
+from repro.des.random import StreamFactory
+from repro.radio.geometry import Position
+from repro.radio.medium import Medium
+
+from common import emit, once
+
+DIAMOND = [(0.0, 0.0), (80.0, 30.0), (80.0, -30.0), (160.0, 0.0)]
+
+
+def build(behaviors=None):
+    sim = Simulator()
+    streams = StreamFactory(7)
+    medium = Medium(sim, streams.stream("medium"))
+    directory = KeyDirectory(HmacScheme(seed=b"e8"))
+    behaviors = behaviors or {}
+    nodes = [NetworkNode(sim, medium, i, Position(*DIAMOND[i]), 100.0,
+                         streams, directory, NodeStackConfig(),
+                         behavior=behaviors.get(i))
+             for i in range(len(DIAMOND))]
+    for node in nodes:
+        node.start()
+    return sim, nodes
+
+
+def run_measurement():
+    rows = []
+
+    # --- completeness: node 2 (the elected overlay arm) goes mute --------
+    sim, nodes = build({2: MuteBehavior()})
+    sim.run(until=8.0)
+    first_strike, first_suspicion = None, None
+    probes = 10
+    for i in range(probes):
+        nodes[0].broadcast(f"probe {i}".encode())
+        sim.run(until=sim.now + 3.0)
+        strikes = max(n.mute.suspicion_count(2) for n in nodes
+                      if n.node_id != 2)
+        if strikes > 0 and first_strike is None:
+            first_strike = sim.now - 8.0
+        if any(n.mute.suspected(2) for n in nodes if n.node_id != 2) \
+                and first_suspicion is None:
+            first_suspicion = sim.now - 8.0
+    rows.append({
+        "property": "completeness: time to first strike (s)",
+        "value": round(first_strike, 2) if first_strike else None,
+    })
+    rows.append({
+        "property": "completeness: time to suspicion (s)",
+        "value": round(first_suspicion, 2) if first_suspicion else None,
+    })
+
+    # --- accuracy: failure-free run, correct nodes stay unsuspected ------
+    sim2, nodes2 = build()
+    sim2.run(until=8.0)
+    for i in range(probes):
+        nodes2[0].broadcast(f"probe {i}".encode())
+        sim2.run(until=sim2.now + 3.0)
+    wrongly_suspected = sum(
+        1 for observer in nodes2 for target in nodes2
+        if observer is not target
+        and observer.mute.suspected(target.node_id))
+    rows.append({"property": "accuracy: wrongly suspected (count)",
+                 "value": wrongly_suspected})
+
+    # --- interval semantics: suspicion decays after the quiet period -----
+    still_suspected = sum(
+        1 for n in nodes if n.node_id != 2 and n.mute.suspected(2))
+    sim.run(until=sim.now + 60.0)  # no further traffic: aging runs dry
+    decayed = sum(1 for n in nodes if n.node_id != 2
+                  and not n.mute.suspected(2))
+    rows.append({"property": "interval: suspected at fault time (count)",
+                 "value": still_suspected})
+    rows.append({"property": "interval: rehabilitated after quiet (count)",
+                 "value": decayed})
+    return rows
+
+
+def test_e8_fd_intervals(benchmark):
+    rows = once(benchmark, run_measurement)
+    emit("e8_fd_intervals", "E8: MUTE interval failure detector", rows)
+    values = {r["property"]: r["value"] for r in rows}
+    assert values["completeness: time to suspicion (s)"] is not None
+    assert values["completeness: time to suspicion (s)"] < 30.0
+    assert values["accuracy: wrongly suspected (count)"] == 0
+    assert values["interval: rehabilitated after quiet (count)"] == 3

@@ -1,0 +1,84 @@
+"""E9 — A verbose attacker with and without the VERBOSE failure detector.
+
+A request-flooding node makes overlay nodes "react with messages of their
+own, thereby degrading the performance of the system".  With the VERBOSE
+detector the victims indict and then ignore the attacker; with the detector
+effectively disabled (astronomical threshold) they keep serving forever.
+
+Reported: DATA packets transmitted per attacker request — the reaction
+amplification the detector suppresses.
+"""
+
+from dataclasses import replace
+
+from repro.adversary.policies import RequestFloodAttacker
+from repro.crypto.keystore import HmacScheme, KeyDirectory
+from repro.core.config import ProtocolConfig
+from repro.core.node import NetworkNode, NodeStackConfig
+from repro.des.kernel import Simulator
+from repro.des.random import RandomStream, StreamFactory
+from repro.fd.verbose import VerboseConfig
+from repro.radio.geometry import Position
+from repro.radio.medium import Medium
+
+from common import emit, once
+
+LINE = [(i * 80.0, 0.0) for i in range(5)]
+ATTACKER = 4
+ATTACK_SECONDS = 30.0
+RATE_HZ = 8.0
+
+
+def run_one(fd_enabled: bool):
+    sim = Simulator()
+    streams = StreamFactory(11)
+    medium = Medium(sim, streams.stream("medium"))
+    directory = KeyDirectory(HmacScheme(seed=b"e9"))
+    verbose_config = (VerboseConfig() if fd_enabled
+                      else VerboseConfig(suspicion_threshold=10_000_000))
+    stack = NodeStackConfig(
+        verbose=verbose_config,
+        # Disable the protocol-level tolerance window so the comparison
+        # isolates the VERBOSE detector itself.
+        protocol=ProtocolConfig(request_indict_threshold=1))
+    nodes = [NetworkNode(sim, medium, i, Position(*LINE[i]), 100.0,
+                         streams, directory, stack)
+             for i in range(len(LINE))]
+    for node in nodes:
+        node.start()
+    sim.run(until=8.0)
+    nodes[0].broadcast(b"bait message")
+    sim.run(until=sim.now + 4.0)
+    data_before = medium.stats.by_kind.get("data", 0)
+    attacker = RequestFloodAttacker(sim, nodes[ATTACKER],
+                                    streams.stream("attacker"),
+                                    rate_hz=RATE_HZ)
+    attacker.start()
+    sim.run(until=sim.now + ATTACK_SECONDS)
+    attacker.stop()
+    data_during = medium.stats.by_kind.get("data", 0) - data_before
+    suspected = any(n.verbose.suspected(ATTACKER) for n in nodes[:ATTACKER])
+    return {
+        "verbose_fd": "on" if fd_enabled else "off",
+        "attacker_requests": attacker.requests_injected,
+        "reaction_data_tx": data_during,
+        "reactions_per_request": round(
+            data_during / max(1, attacker.requests_injected), 3),
+        "attacker_suspected": suspected,
+    }
+
+
+def run_comparison():
+    return [run_one(fd_enabled=False), run_one(fd_enabled=True)]
+
+
+def test_e9_verbose_attack(benchmark):
+    rows = once(benchmark, run_comparison)
+    emit("e9_verbose_attack",
+         "E9: request-flooding attacker, VERBOSE FD off vs on", rows)
+    off = next(r for r in rows if r["verbose_fd"] == "off")
+    on = next(r for r in rows if r["verbose_fd"] == "on")
+    # Without the detector, the network keeps reacting to the flood.
+    assert off["reaction_data_tx"] > 3 * on["reaction_data_tx"]
+    assert not off["attacker_suspected"]
+    assert on["attacker_suspected"]

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""City mesh: a realistic urban ad-hoc scenario with mixed adversaries.
+
+Sixty pedestrians' devices roam a city square (random-waypoint mobility)
+over a noisy channel (log-normal shadowing + background loss).  The
+adversary mix is realistic rather than worst-case: a few selfish nodes
+that silently drop forwards to save battery, one node corrupting payloads,
+and one gossiping about messages it refuses to serve.
+
+The script compares the paper's protocol with plain flooding and bare
+overlay dissemination under identical conditions, then prints the
+comparison table — the qualitative shape of the paper's evaluation on one
+screen.
+
+Run:  python examples/city_mesh.py
+"""
+
+from repro.core import NodeStackConfig, ProtocolConfig
+from repro.des import RandomStream
+from repro.sim import ExperimentConfig, format_rows, run_experiment
+from repro.workloads import AdversaryMix, ScenarioConfig, poisson_arrivals
+
+# §3.5: mobile networks need longer retention than static ones ("every
+# message should be kept until all the nodes receive the message") — size
+# the gossip window and buffers for roaming receivers.
+MOBILE_STACK = NodeStackConfig(protocol=ProtocolConfig(
+    gossip_advertise_ttl=25.0, purge_timeout=60.0))
+
+
+def build_scenario() -> ScenarioConfig:
+    return ScenarioConfig(
+        n=60,
+        tx_range=100.0,
+        target_degree=9.0,
+        mobility="waypoint",
+        speed_max=2.0,                     # pedestrian pace
+        propagation="shadowing",
+        shadowing_sigma=0.15,
+        background_loss=0.02,
+        adversaries=AdversaryMix(
+            counts={"selective_drop": 4, "forging": 1, "gossip_liar": 1},
+            placement="random"),
+        seed=2026,
+    )
+
+
+def main() -> None:
+    scenario = build_scenario()
+    workload = poisson_arrivals(
+        sources=list(range(0, 10)),        # ten chatty devices
+        rate_hz=0.8, duration=15.0,
+        rng=RandomStream(99), payload_size=512)
+
+    rows = []
+    for protocol in ("byzcast", "flooding", "overlay_only"):
+        print(f"simulating {protocol} ...")
+        result = run_experiment(ExperimentConfig(
+            scenario=scenario, protocol=protocol, stack=MOBILE_STACK,
+            workload=workload, warmup=10.0, drain=45.0))
+        rows.append({
+            "protocol": protocol,
+            "delivery": round(result.delivery_ratio, 4),
+            "complete": round(result.complete_fraction, 3),
+            "lat_mean_ms": round(1000 * result.mean_latency, 1)
+            if result.mean_latency else None,
+            "tx/bcast": round(result.transmissions_per_broadcast, 1),
+            "data_tx/bcast": round(
+                result.data_transmissions_per_broadcast, 1),
+            "kB/bcast": round(result.bytes_per_broadcast / 1000, 1),
+            "collisions": int(result.physical.get("collisions", 0)),
+        })
+
+    print(f"\nCity mesh: n={scenario.n}, mobile, noisy channel, "
+          f"{scenario.adversaries.total} Byzantine nodes "
+          f"({dict(scenario.adversaries.counts)})\n")
+    print(format_rows(rows))
+    print(
+        "\nReading: the protocol (byzcast) holds delivery at ~1.0 under\n"
+        "churn and Byzantine drops; flooding burns ~n transmissions per\n"
+        "message and still misses what collisions destroy; the bare\n"
+        "overlay is cheapest but leaks everything a dropped relay eats.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: run the Byzantine broadcast protocol in one call.
+
+Builds a 30-node ad-hoc network with three mute Byzantine nodes squatting
+the best overlay positions, broadcasts five messages, and prints what the
+paper's evaluation would report: delivery, latency, and per-packet-type
+overhead.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.sim import ExperimentConfig, run_experiment
+from repro.workloads import AdversaryMix, ScenarioConfig
+
+
+def main() -> None:
+    scenario = ScenarioConfig(
+        n=30,                                  # devices in the field
+        tx_range=100.0,                        # meters
+        target_degree=8.0,                     # area sized for ~8 neighbors
+        adversaries=AdversaryMix.mute(3),      # 3 silent Byzantine nodes
+        seed=42,
+    )
+    config = ExperimentConfig(
+        scenario=scenario,
+        protocol="byzcast",                    # the paper's protocol
+        message_count=5,
+        message_interval=1.5,
+        warmup=8.0,                            # overlay formation time
+        drain=15.0,                            # recovery settle time
+    )
+
+    print("Running 30-node simulation with 3 mute Byzantine nodes...")
+    result = run_experiment(config)
+
+    print(f"\nDelivery ratio:        {result.delivery_ratio:.4f}")
+    print(f"Complete messages:     {result.complete_fraction:.0%}")
+    print(f"Mean accept latency:   {result.mean_latency * 1000:.1f} ms")
+    print(f"Worst accept latency:  {result.max_latency * 1000:.1f} ms")
+    print(f"Transmissions/bcast:   {result.transmissions_per_broadcast:.1f}"
+          f" (DATA only: {result.data_transmissions_per_broadcast:.1f})")
+    print(f"Bytes/bcast:           {result.bytes_per_broadcast:.0f}")
+
+    quality = result.overlay_quality
+    print(f"\nOverlay: {quality.overlay_size}/{scenario.n} nodes active, "
+          f"coverage {quality.coverage:.0%}, "
+          f"correct members connected: "
+          f"{quality.correct_overlay_connected}")
+
+    print("\nPacket breakdown:")
+    for key, value in sorted(result.physical.items()):
+        if key.startswith("tx_"):
+            print(f"  {key[3:]:<14} {value:>6.0f}")
+
+
+if __name__ == "__main__":
+    main()

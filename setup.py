@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (the sandbox has no network to fetch build dependencies)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — reproduction of "Efficient Byzantine Broadcast in Wireless
+Ad-Hoc Networks" (Drabkin, Friedman, Segal; DSN 2005).
+
+Public API tour
+---------------
+
+* :mod:`repro.sim` — one-call experiments: ``run_experiment(config)``;
+* :mod:`repro.core` — the protocol itself (:class:`NetworkNode`,
+  :class:`ByzantineBroadcastProtocol`);
+* :mod:`repro.baselines` — flooding, overlay-only, f+1 overlays;
+* :mod:`repro.adversary` — Byzantine behaviours and active attackers;
+* :mod:`repro.overlay` / :mod:`repro.fd` / :mod:`repro.radio` /
+  :mod:`repro.crypto` / :mod:`repro.des` — the substrates.
+
+Quickstart::
+
+    from repro.sim import ExperimentConfig, run_experiment
+    from repro.workloads import AdversaryMix, ScenarioConfig
+
+    scenario = ScenarioConfig(n=30, adversaries=AdversaryMix.mute(3))
+    result = run_experiment(ExperimentConfig(scenario=scenario))
+    print(result.row())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""Byzantine adversary behaviours and active attackers."""
+
+from .behaviors import (
+    DeafBehavior,
+    ForgingBehavior,
+    GossipLiarBehavior,
+    ImpersonationBehavior,
+    MuteBehavior,
+    PROTOCOL_KINDS,
+    SelectiveDropBehavior,
+)
+from .policies import (
+    BEHAVIOR_KINDS,
+    GossipFloodAttacker,
+    RequestFloodAttacker,
+    make_behavior,
+)
+
+__all__ = [
+    "BEHAVIOR_KINDS",
+    "DeafBehavior",
+    "ForgingBehavior",
+    "GossipFloodAttacker",
+    "GossipLiarBehavior",
+    "ImpersonationBehavior",
+    "MuteBehavior",
+    "PROTOCOL_KINDS",
+    "RequestFloodAttacker",
+    "SelectiveDropBehavior",
+    "make_behavior",
+]

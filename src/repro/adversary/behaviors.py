@@ -1,0 +1,140 @@
+"""Byzantine node behaviours.
+
+Each behaviour is a :class:`repro.core.NodeBehavior` implementation that a
+simulated node adopts instead of :class:`CorrectBehavior`.  They model the
+fault classes the paper enumerates (§2.1: Byzantine processes "may fail to
+send messages, send too many messages, send messages with false
+information, or send messages with different data to different nodes") at
+the node's output/input boundary, leaving the protocol engine untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Optional
+
+from ..core.messages import (
+    DATA,
+    FIND_MISSING_MSG,
+    GOSSIP,
+    REQUEST_MSG,
+    DataMessage,
+)
+from ..core.protocol import NodeBehavior
+from ..des.random import RandomStream
+
+__all__ = [
+    "PROTOCOL_KINDS",
+    "MuteBehavior",
+    "SelectiveDropBehavior",
+    "ForgingBehavior",
+    "ImpersonationBehavior",
+    "GossipLiarBehavior",
+    "DeafBehavior",
+]
+
+PROTOCOL_KINDS: FrozenSet[str] = frozenset(
+    {DATA, GOSSIP, REQUEST_MSG, FIND_MISSING_MSG})
+
+
+class MuteBehavior(NodeBehavior):
+    """A mute failure: the node stops sending protocol messages.
+
+    This is the failure class the paper's evaluation injects ("when some
+    nodes experience mute failures, as these failures seem to have the most
+    adverse impact").  The node keeps beaconing HELLOs (those bypass the
+    protocol), so it stays in neighbors' views — and, if elected, silently
+    squats an overlay slot until MUTE suspects it.
+    """
+
+    def __init__(self, drop_kinds: Iterable[str] = PROTOCOL_KINDS):
+        self._drop_kinds = frozenset(drop_kinds)
+
+    def filter_outgoing(self, kind: str, message: Any) -> Optional[Any]:
+        if kind in self._drop_kinds:
+            return None
+        return message
+
+
+class SelectiveDropBehavior(NodeBehavior):
+    """Drops each outgoing message of the given kinds with a probability —
+    a stealthier mute node that keeps detection noisy."""
+
+    def __init__(self, rng: RandomStream, drop_probability: float = 0.7,
+                 drop_kinds: Iterable[str] = (DATA,)):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self._rng = rng
+        self._p = drop_probability
+        self._drop_kinds = frozenset(drop_kinds)
+
+    def filter_outgoing(self, kind: str, message: Any) -> Optional[Any]:
+        if kind in self._drop_kinds and self._rng.chance(self._p):
+            return None
+        return message
+
+
+class ForgingBehavior(NodeBehavior):
+    """Corrupts the payload of forwarded DATA messages without re-signing.
+
+    Receivers detect the mismatch ("if m does not fit sig(m), then m is
+    ignored and the process that sent it is suspected") — this behaviour
+    exists to exercise that path.
+    """
+
+    def __init__(self, rng: RandomStream, corrupt_probability: float = 1.0):
+        self._rng = rng
+        self._p = corrupt_probability
+
+    def filter_outgoing(self, kind: str, message: Any) -> Optional[Any]:
+        if (kind == DATA and isinstance(message, DataMessage)
+                and self._rng.chance(self._p)):
+            corrupted = bytes(
+                b ^ 0xFF for b in message.payload[:4]) + message.payload[4:]
+            return DataMessage(msg_id=message.msg_id, payload=corrupted,
+                               signature=message.signature, ttl=message.ttl,
+                               gossip=message.gossip)
+        return message
+
+
+class ImpersonationBehavior(NodeBehavior):
+    """Rewrites the claimed originator of forwarded DATA messages.
+
+    The signature no longer verifies under the claimed identity, so
+    receivers reject and suspect the sender — the paper's "a node cannot
+    impersonate another node" assumption made observable.
+    """
+
+    def __init__(self, victim_id: int):
+        self._victim = victim_id
+
+    def filter_outgoing(self, kind: str, message: Any) -> Optional[Any]:
+        if kind == DATA and isinstance(message, DataMessage):
+            forged_id = message.msg_id._replace(originator=self._victim)
+            return DataMessage(msg_id=forged_id, payload=message.payload,
+                               signature=message.signature, ttl=message.ttl,
+                               gossip=None)
+        return message
+
+
+class GossipLiarBehavior(NodeBehavior):
+    """Gossips about messages it holds but never serves them.
+
+    "If q gossips about messages that do not exist or q does not want to
+    supply them, it will be suspected" — the liar triggers the MUTE
+    expectation registered at gossip reception (line 28) and is eventually
+    suspected by its neighbors.
+    """
+
+    def filter_outgoing(self, kind: str, message: Any) -> Optional[Any]:
+        if kind in (DATA, FIND_MISSING_MSG):
+            return None  # never supply data nor help searches
+        return message
+
+
+class DeafBehavior(NodeBehavior):
+    """Ignores all incoming protocol traffic while still transmitting its
+    own — a selfish node that saves receive-path battery."""
+
+    def intercept_incoming(self, kind: str, message: Any,
+                           link_sender: int) -> bool:
+        return True

@@ -1,0 +1,5 @@
+"""Closed-form §3.5 analysis calculators."""
+
+from .bounds import AnalysisModel, transmission_time
+
+__all__ = ["AnalysisModel", "transmission_time"]

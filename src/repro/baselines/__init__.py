@@ -1,0 +1,19 @@
+"""Comparison baselines: flooding, overlay-only, f+1 overlays."""
+
+from .flooding import FloodingNode
+from .multi_overlay import (
+    MultiOverlayNode,
+    TaggedData,
+    build_independent_overlays,
+    greedy_connected_dominating_set,
+)
+from .overlay_only import OverlayOnlyNode
+
+__all__ = [
+    "FloodingNode",
+    "MultiOverlayNode",
+    "OverlayOnlyNode",
+    "TaggedData",
+    "build_independent_overlays",
+    "greedy_connected_dominating_set",
+]

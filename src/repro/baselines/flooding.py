@@ -1,0 +1,108 @@
+"""Plain flooding baseline.
+
+"The simplest way to obtain broadcast in a multiple hop network is by
+employing flooding.  That is, the sender sends the message to everyone in
+its transmission range.  Each device that receives a message for the first
+time delivers it to the application and also forwards it to all other
+devices in its range.  While this form of dissemination is very robust, it
+is also very wasteful and may cause a large number of collisions."
+
+This is the first comparator of the paper's evaluation.  Messages are
+signed (so validity is comparable) but there is no overlay, no gossip, no
+recovery: a message lost to a collision stays lost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.messages import DATA, DataMessage, MessageId
+from ..core.protocol import NodeBehavior
+from ..crypto.keystore import KeyDirectory
+from ..des.kernel import Simulator
+from ..des.random import StreamFactory
+from ..radio.geometry import Position
+from ..radio.mac import MacConfig
+from ..radio.medium import Medium
+from ..radio.packet import Packet
+from ..radio.radio import Radio
+
+__all__ = ["FloodingNode"]
+
+_DATA_HEADER_BYTES = 20
+
+
+class FloodingNode:
+    """A node running signed flooding (no Byzantine tolerance machinery)."""
+
+    def __init__(self, sim: Simulator, medium: Medium, node_id: int,
+                 position: Position, tx_range: float,
+                 streams: StreamFactory, directory: KeyDirectory,
+                 mac_config: Optional[MacConfig] = None,
+                 behavior: Optional[NodeBehavior] = None,
+                 payload_size_hint: int = 512):
+        self._sim = sim
+        self._node_id = node_id
+        self._directory = directory
+        self.signer = directory.issue(node_id)
+        self._behavior = behavior
+        self._seq = 0
+        self._seen: set = set()
+        self.accepted: List[Tuple[float, int, MessageId]] = []
+        self._accept_listeners: List[Callable[[int, int, bytes, MessageId],
+                                              None]] = []
+        self._payload_size_hint = payload_size_hint
+        self.radio = Radio(sim, medium, node_id, position, tx_range,
+                           streams.stream(f"mac:{node_id}"), mac_config)
+        self.radio.set_receiver(self._on_packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def position(self) -> Position:
+        return self.radio.position
+
+    def start(self) -> None:
+        """Flooding needs no periodic machinery; present for API parity."""
+
+    def stop(self) -> None:
+        """API parity with :class:`repro.core.NetworkNode`."""
+
+    def add_accept_listener(self, listener) -> None:
+        self._accept_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: bytes) -> MessageId:
+        self._seq += 1
+        message = DataMessage.create(self.signer, self._seq, payload)
+        self._seen.add(message.msg_id)
+        self._transmit(message)
+        return message.msg_id
+
+    def _on_packet(self, packet: Packet) -> None:
+        message = packet.payload
+        if not isinstance(message, DataMessage):
+            return
+        if message.msg_id in self._seen:
+            return
+        if not message.verify(self._directory):
+            return
+        self._seen.add(message.msg_id)
+        self.accepted.append((self._sim.now, message.msg_id.originator,
+                              message.msg_id))
+        for listener in self._accept_listeners:
+            listener(self._node_id, message.msg_id.originator,
+                     message.payload, message.msg_id)
+        self._transmit(message)
+
+    def _transmit(self, message: DataMessage) -> None:
+        if self._behavior is not None:
+            message = self._behavior.filter_outgoing(DATA, message)
+            if message is None:
+                return
+        size = (_DATA_HEADER_BYTES + len(message.payload)
+                + self._directory.signature_size)
+        self.radio.send(message, size_bytes=size, kind=DATA)

@@ -1,0 +1,125 @@
+"""Overlay-only baseline: dissemination over a single overlay with no
+gossip, no recovery, and no failure detectors.
+
+This isolates the overlay's efficiency benefit from the Byzantine
+machinery: in failure-free runs it is nearly as cheap as the full protocol
+(minus gossip), but a single mute overlay node — or an unlucky collision —
+permanently silences everything behind it, which is exactly the fragility
+experiment E4 demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.messages import DATA, DataMessage, MessageId
+from ..core.node import make_election_rule
+from ..core.protocol import NodeBehavior
+from ..crypto.keystore import KeyDirectory
+from ..des.kernel import Simulator
+from ..des.random import StreamFactory
+from ..fd.trust import TrustFailureDetector
+from ..overlay.manager import OverlayConfig, OverlayManager
+from ..radio.geometry import Position
+from ..radio.mac import MacConfig
+from ..radio.medium import Medium
+from ..radio.neighbors import NeighborService
+from ..radio.packet import Packet
+from ..radio.radio import Radio
+
+__all__ = ["OverlayOnlyNode"]
+
+_DATA_HEADER_BYTES = 20
+
+
+class OverlayOnlyNode:
+    """Overlay flooding without the paper's recovery machinery."""
+
+    def __init__(self, sim: Simulator, medium: Medium, node_id: int,
+                 position: Position, tx_range: float,
+                 streams: StreamFactory, directory: KeyDirectory,
+                 mac_config: Optional[MacConfig] = None,
+                 overlay_rule: str = "cds",
+                 hello_period: float = 1.0,
+                 behavior: Optional[NodeBehavior] = None):
+        self._sim = sim
+        self._node_id = node_id
+        self._directory = directory
+        self.signer = directory.issue(node_id)
+        self._behavior = behavior
+        self._seq = 0
+        self._seen: set = set()
+        self.accepted: List[Tuple[float, int, MessageId]] = []
+        self._accept_listeners: List[Callable[[int, int, bytes, MessageId],
+                                              None]] = []
+        self.radio = Radio(sim, medium, node_id, position, tx_range,
+                           streams.stream(f"mac:{node_id}"), mac_config)
+        self.neighbors = NeighborService(
+            sim, self.radio, streams.stream(f"hello:{node_id}"),
+            hello_period=hello_period, signer=self.signer,
+            directory=directory)
+        # A trust detector with no MUTE/VERBOSE inputs: everyone stays
+        # trusted, so the overlay election is purely structural.
+        self.trust = TrustFailureDetector(sim)
+        self.overlay = OverlayManager(
+            sim, node_id, self.neighbors, self.trust,
+            make_election_rule(overlay_rule),
+            streams.stream(f"overlay:{node_id}"), OverlayConfig())
+        self.radio.set_receiver(self._on_packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def position(self) -> Position:
+        return self.radio.position
+
+    def start(self) -> None:
+        self.neighbors.start()
+        self.overlay.start()
+
+    def stop(self) -> None:
+        self.overlay.stop()
+        self.neighbors.stop()
+        self.trust.stop()
+
+    def add_accept_listener(self, listener) -> None:
+        self._accept_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: bytes) -> MessageId:
+        self._seq += 1
+        message = DataMessage.create(self.signer, self._seq, payload)
+        self._seen.add(message.msg_id)
+        self._transmit(message)
+        return message.msg_id
+
+    def _on_packet(self, packet: Packet) -> None:
+        if self.neighbors.handle_packet(packet):
+            return
+        message = packet.payload
+        if not isinstance(message, DataMessage):
+            return
+        if message.msg_id in self._seen:
+            return
+        if not message.verify(self._directory):
+            return
+        self._seen.add(message.msg_id)
+        self.accepted.append((self._sim.now, message.msg_id.originator,
+                              message.msg_id))
+        for listener in self._accept_listeners:
+            listener(self._node_id, message.msg_id.originator,
+                     message.payload, message.msg_id)
+        if self.overlay.in_overlay:
+            self._transmit(message)
+
+    def _transmit(self, message: DataMessage) -> None:
+        if self._behavior is not None:
+            message = self._behavior.filter_outgoing(DATA, message)
+            if message is None:
+                return
+        size = (_DATA_HEADER_BYTES + len(message.payload)
+                + self._directory.signature_size)
+        self.radio.send(message, size_bytes=size, kind=DATA)

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       one experiment, full report
+``compare``   every protocol on the same scenario, one table
+``sweep``     sweep n or the mute count for one protocol
+``experiments``  list the reconstructed paper experiments and their benches
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.config import ProtocolConfig
+from .core.node import NodeStackConfig
+from .sim.experiment import (
+    PROTOCOLS,
+    ExperimentConfig,
+    run_experiment,
+)
+from .sim.render import format_rows
+from .sim.sweeps import run_sweep
+from .workloads.scenarios import AdversaryMix, ScenarioConfig
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    ("E1", "failure-free overhead vs n", "test_e1_overhead_vs_n.py"),
+    ("E2", "failure-free delivery vs n", "test_e2_delivery_vs_n.py"),
+    ("E3", "failure-free latency vs n", "test_e3_latency_vs_n.py"),
+    ("E4", "delivery vs mute overlay nodes", "test_e4_delivery_vs_mute.py"),
+    ("E5", "latency vs mute overlay nodes", "test_e5_latency_vs_mute.py"),
+    ("E6", "overhead vs mute overlay nodes", "test_e6_overhead_vs_mute.py"),
+    ("E7", "overlay quality: CDS vs MIS+B", "test_e7_overlay_quality.py"),
+    ("E8", "MUTE interval failure detector", "test_e8_fd_intervals.py"),
+    ("E9", "verbose attacker vs VERBOSE FD", "test_e9_verbose_attack.py"),
+    ("E10", "analysis bounds (Thm 3.4)", "test_e10_analysis_bounds.py"),
+    ("E11", "delivery under mobility", "test_e11_mobility.py"),
+    ("E12", "hundred-node scale + energy", "test_e12_scale_energy.py"),
+    ("A1", "gossip period trade-off", "test_a1_gossip_period.py"),
+    ("A2", "FIND TTL 1 vs 2", "test_a2_find_ttl.py"),
+    ("A3", "gossip aggregation/piggyback", "test_a3_gossip_aggregation.py"),
+    ("A4", "DSA vs HMAC crypto cost", "test_a4_crypto_cost.py"),
+    ("A5", "line-29 discrepancy", "test_a5_line29_discrepancy.py"),
+    ("A6", "timeout vs stability purging", "test_a6_stability_purge.py"),
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Byzantine broadcast in wireless ad-hoc networks "
+                    "(DSN 2005 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=30,
+                       help="number of nodes (default 30)")
+        p.add_argument("--mute", type=int, default=0,
+                       help="mute Byzantine nodes at the highest ids")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--tx-range", type=float, default=100.0)
+        p.add_argument("--degree", type=float, default=8.0,
+                       help="target average node degree")
+        p.add_argument("--mobility",
+                       choices=("static", "waypoint", "walk",
+                                "gaussmarkov"),
+                       default="static")
+        p.add_argument("--channel", choices=("disk", "shadowing"),
+                       default="disk")
+        p.add_argument("--messages", type=int, default=5)
+        p.add_argument("--interval", type=float, default=1.5,
+                       help="seconds between broadcasts")
+        p.add_argument("--warmup", type=float, default=8.0)
+        p.add_argument("--drain", type=float, default=15.0)
+        p.add_argument("--rule", choices=("cds", "mis+b"), default="cds",
+                       help="overlay election rule")
+        p.add_argument("--gossip-period", type=float, default=1.0)
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    add_scenario_args(run_p)
+    run_p.add_argument("--protocol", choices=PROTOCOLS, default="byzcast")
+
+    cmp_p = sub.add_parser("compare",
+                           help="run every protocol on one scenario")
+    add_scenario_args(cmp_p)
+
+    sweep_p = sub.add_parser("sweep", help="sweep one parameter")
+    add_scenario_args(sweep_p)
+    sweep_p.add_argument("--protocol", choices=PROTOCOLS, default="byzcast")
+    sweep_p.add_argument("--param", choices=("n", "mute"), required=True)
+    sweep_p.add_argument("--values", required=True,
+                         help="comma-separated values, e.g. 20,40,60")
+    sweep_p.add_argument("--seeds", default="1,2",
+                         help="comma-separated seeds (default 1,2)")
+
+    sub.add_parser("experiments",
+                   help="list the reconstructed paper experiments")
+    return parser
+
+
+def _scenario_from(args: argparse.Namespace, *, n: Optional[int] = None,
+                   mute: Optional[int] = None) -> ScenarioConfig:
+    mute_count = args.mute if mute is None else mute
+    adversaries = (AdversaryMix.mute(mute_count) if mute_count
+                   else AdversaryMix.none())
+    return ScenarioConfig(
+        n=args.n if n is None else n,
+        tx_range=args.tx_range,
+        target_degree=args.degree,
+        mobility=args.mobility,
+        propagation=args.channel,
+        adversaries=adversaries,
+        seed=args.seed,
+    )
+
+
+def _config_from(args: argparse.Namespace, protocol: str,
+                 scenario: ScenarioConfig) -> ExperimentConfig:
+    stack = NodeStackConfig(
+        overlay_rule=args.rule,
+        protocol=ProtocolConfig(gossip_period=args.gossip_period))
+    return ExperimentConfig(
+        scenario=scenario, protocol=protocol, stack=stack,
+        message_count=args.messages, message_interval=args.interval,
+        warmup=args.warmup, drain=args.drain)
+
+
+def _print_report(result, out) -> None:
+    print(format_rows([result.row()]), file=out)
+    print(f"\nbytes/broadcast:      {result.bytes_per_broadcast:.0f}",
+          file=out)
+    print(f"DATA tx/broadcast:    "
+          f"{result.data_transmissions_per_broadcast:.1f}", file=out)
+    if result.overlay_quality is not None:
+        q = result.overlay_quality
+        print(f"overlay: {q.overlay_size}/{result.n} active, "
+              f"coverage {q.coverage:.0%}, connected "
+              f"{q.correct_overlay_connected}", file=out)
+    print(f"energy (radio): total "
+          f"{result.energy.get('tx_joules', 0.0) + result.energy.get('rx_joules', 0.0):.2f} J, "
+          f"hottest node {result.energy.get('max_node_joules', 0.0):.2f} J",
+          file=out)
+    print("\npackets by type:", file=out)
+    for key, value in sorted(result.physical.items()):
+        if key.startswith("tx_"):
+            print(f"  {key[3:]:<14}{value:>8.0f}", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.command == "experiments":
+        rows = [{"id": eid, "what": what, "bench": f"benchmarks/{bench}"}
+                for eid, what, bench in _EXPERIMENTS]
+        print(format_rows(rows), file=out)
+        print("\nrun one with: pytest benchmarks/<bench> "
+              "--benchmark-only -s", file=out)
+        return 0
+
+    if args.command == "run":
+        result = run_experiment(_config_from(
+            args, args.protocol, _scenario_from(args)))
+        _print_report(result, out)
+        return 0
+
+    if args.command == "compare":
+        rows = []
+        for protocol in PROTOCOLS:
+            result = run_experiment(_config_from(
+                args, protocol, _scenario_from(args)))
+            rows.append(result.row())
+        print(format_rows(rows), file=out)
+        return 0
+
+    if args.command == "sweep":
+        values = [int(v) for v in args.values.split(",")]
+        seeds = [int(s) for s in args.seeds.split(",")]
+
+        def make_config(value):
+            if args.param == "n":
+                scenario = _scenario_from(args, n=value)
+            else:
+                scenario = _scenario_from(args, mute=value)
+            return _config_from(args, args.protocol, scenario)
+
+        points = run_sweep(values, make_config, seeds=seeds)
+        rows = []
+        for point in points:
+            row = point.result.row()
+            row = {args.param: point.parameter, **row}
+            rows.append(row)
+        print(format_rows(rows), file=out)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Protocol configuration.
+
+Gathers every timing and size constant of the dissemination protocol in one
+place, mirroring the quantities named in the paper's analysis (§3.5):
+``gossip_timeout`` (here ``gossip_period``), ``request_timeout``,
+``rebroadcast_timeout``, and the derived ``max_timeout``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProtocolConfig"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables of the Byzantine broadcast protocol.
+
+    The defaults target a 1 Mb/s radio with ~100 m range and networks of
+    tens to low hundreds of nodes — the regime of the paper's simulations.
+    """
+
+    # --- dissemination -------------------------------------------------
+    #: Application payload bytes assumed when the caller passes abstract
+    #: payloads (callers may override per message).
+    default_payload_size: int = 512
+    #: Bytes of protocol header on a DATA packet (ids, seq, type, ttl).
+    data_header_size: int = 20
+    #: Bytes for one gossip entry before the signature (msg id + node id).
+    gossip_entry_size: int = 12
+    #: Bytes of header on gossip / request / find packets.
+    control_header_size: int = 16
+
+    # --- gossip (the "lazycast" mechanism) -----------------------------
+    #: Seconds between consecutive gossip packets of a node
+    #: (the analysis section's ``gossip_timeout``).
+    gossip_period: float = 1.0
+    #: Maximum gossip entries aggregated into one packet ("multiple gossip
+    #: messages are aggregated into one packet").
+    gossip_aggregation_limit: int = 32
+    #: Seconds a message keeps being advertised in gossip packets.  After
+    #: several max_timeout periods every reachable correct node has had
+    #: ample recovery opportunities; advertising longer only costs packets.
+    #: (Retention for *serving* recovery requests is ``purge_timeout``.)
+    gossip_advertise_ttl: float = 6.0
+    #: Piggyback the first gossip of a message on the DATA packet itself
+    #: (footnote 5 of the paper: "saves one message and makes the recovery
+    #: of messages a bit faster").  Ablation A3/A5 toggles this.
+    piggyback_gossip: bool = True
+
+    # --- recovery -------------------------------------------------------
+    #: Seconds a node waits after learning of a missing message before
+    #: (re-)requesting it (the analysis section's ``request_timeout``).
+    request_timeout: float = 0.5
+    #: Minimum spacing between two REQUEST_MSGs this node emits for the
+    #: same message (politeness; protects against self-indictment).
+    request_min_interval: float = 1.0
+    #: Upper bound of the random delay before answering a REQUEST_MSG or
+    #: FIND_MISSING_MSG (§3.5's ``rebroadcast_timeout``).  Randomizing the
+    #: reply instant desynchronises hidden-terminal responders that would
+    #: otherwise collide at the requester on every retry.
+    rebroadcast_timeout: float = 0.4
+    #: How many REQUEST_MSGs for the *same message* from the *same node* an
+    #: overlay node tolerates before each further one indicts the requester
+    #: ("when an overlay node p receives a REQUEST_MSG for the same message
+    #: m too many times from the same node q, it causes p's VERBOSE failure
+    #: detector to suspect q").  Retries below the threshold are the normal
+    #: collision-recovery pattern and must not poison legitimate nodes.
+    request_indict_threshold: int = 3
+    #: TTL used for FIND_MISSING_MSG floods.  The paper fixes 2 "to bypass
+    #: a potential neighboring Byzantine node"; ablation A2 lowers it to 1.
+    find_ttl: int = 2
+    #: Whether a node may REQUEST a missing message from the gossiper even
+    #: when that gossiper is the message's originator.  The paper's
+    #: pseudo-code (line 29) skips the request in that case, but its own
+    #: Theorem 3.2 proof requires that any holder l "if requested by its
+    #: neighbors ... will also send m"; with the literal line-29 rule a
+    #: node whose only holding neighbor is the originator can never
+    #: recover.  Default resolves in favor of the proof; set False to run
+    #: the literal pseudo-code (ablation A5 demonstrates the deadlock).
+    request_from_originator: bool = True
+
+    # --- retention ------------------------------------------------------
+    #: Seconds a delivered message's payload is buffered for retransmission
+    #: before being purged ("timeout based purging due to its simplicity").
+    purge_timeout: float = 30.0
+    #: Seconds between purge sweeps.
+    purge_period: float = 5.0
+
+    # --- rate policing (VERBOSE hints) -----------------------------------
+    #: Minimum legal spacing of gossip packets from one sender, installed
+    #: into the VERBOSE detector at initialization time.
+    gossip_min_spacing_factor: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.gossip_period <= 0:
+            raise ValueError("gossip_period must be positive")
+        if self.request_timeout < 0:
+            raise ValueError("request_timeout must be non-negative")
+        if self.purge_timeout <= 0:
+            raise ValueError("purge_timeout must be positive")
+        if self.find_ttl < 1:
+            raise ValueError("find_ttl must be >= 1")
+        if self.gossip_aggregation_limit < 1:
+            raise ValueError("gossip_aggregation_limit must be >= 1")
+
+    def max_timeout(self, transmission_time: float = 0.01) -> float:
+        """§3.5's ``max_timeout = gossip_timeout + request_timeout +
+        rebroadcast_timeout + 3·beta``."""
+        return (self.gossip_period + self.request_timeout
+                + self.rebroadcast_timeout + 3 * transmission_time)

@@ -1,0 +1,158 @@
+"""Full node assembly: radio + failure detectors + overlay + protocol.
+
+:class:`NetworkNode` wires every per-node component of Figure 1 (the node
+architecture): the network/MAC layer, the FD interceptor (every received
+packet feeds MUTE/VERBOSE via the protocol handlers), the overlay manager,
+and the application-facing broadcast/accept interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..crypto.keystore import KeyDirectory
+from ..des.kernel import Simulator
+from ..des.random import StreamFactory
+from ..fd.mute import MuteConfig, MuteFailureDetector
+from ..fd.trust import TrustConfig, TrustFailureDetector
+from ..fd.verbose import VerboseConfig, VerboseFailureDetector
+from ..overlay.cds import CdsRule
+from ..overlay.manager import OverlayConfig, OverlayManager
+from ..overlay.misb import MisBridgeRule
+from ..overlay.state import ElectionRule
+from ..radio.geometry import Position
+from ..radio.mac import MacConfig
+from ..radio.medium import Medium
+from ..radio.neighbors import NeighborService
+from ..radio.packet import Packet
+from ..radio.radio import Radio
+from .config import ProtocolConfig
+from .messages import MessageId
+from .protocol import (
+    ByzantineBroadcastProtocol,
+    ManagerOverlayPort,
+    NodeBehavior,
+)
+
+__all__ = ["NodeStackConfig", "NetworkNode", "make_election_rule"]
+
+
+def make_election_rule(name: str) -> ElectionRule:
+    """Factory for the overlay election rules the paper implements."""
+    rules = {"cds": CdsRule, "mis+b": MisBridgeRule, "misb": MisBridgeRule}
+    try:
+        return rules[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown overlay rule {name!r}; choose from {sorted(rules)}")
+
+
+@dataclass(frozen=True)
+class NodeStackConfig:
+    """Every per-node tunable, with paper-faithful defaults."""
+
+    protocol: ProtocolConfig = field(default_factory=ProtocolConfig)
+    mac: MacConfig = field(default_factory=MacConfig)
+    mute: MuteConfig = field(default_factory=MuteConfig)
+    verbose: VerboseConfig = field(default_factory=VerboseConfig)
+    trust: TrustConfig = field(default_factory=TrustConfig)
+    overlay: OverlayConfig = field(default_factory=OverlayConfig)
+    hello_period: float = 1.0
+    overlay_rule: str = "cds"
+    sign_hellos: bool = True
+
+
+AcceptRecord = Tuple[float, int, MessageId]
+
+
+class NetworkNode:
+    """A complete protocol node attached to a medium."""
+
+    def __init__(self, sim: Simulator, medium: Medium, node_id: int,
+                 position: Position, tx_range: float,
+                 streams: StreamFactory, directory: KeyDirectory,
+                 stack: Optional[NodeStackConfig] = None,
+                 behavior: Optional[NodeBehavior] = None,
+                 force_overlay: Optional[bool] = None):
+        stack = stack or NodeStackConfig()
+        self._sim = sim
+        self._node_id = node_id
+        self._stack = stack
+        self.accepted: List[AcceptRecord] = []
+        self._accept_listeners: List[Callable[[int, int, bytes, MessageId],
+                                              None]] = []
+
+        signer = directory.issue(node_id)
+        self.signer = signer
+        self.directory = directory
+        self.radio = Radio(sim, medium, node_id, position, tx_range,
+                           streams.stream(f"mac:{node_id}"), stack.mac)
+        hello_auth = {}
+        if stack.sign_hellos:
+            hello_auth = {"signer": signer, "directory": directory}
+        self.neighbors = NeighborService(
+            sim, self.radio, streams.stream(f"hello:{node_id}"),
+            hello_period=stack.hello_period, **hello_auth)
+        self.mute = MuteFailureDetector(sim, stack.mute)
+        self.verbose = VerboseFailureDetector(sim, stack.verbose)
+        self.trust = TrustFailureDetector(sim, self.mute, self.verbose,
+                                          stack.trust)
+        self.overlay = OverlayManager(
+            sim, node_id, self.neighbors, self.trust,
+            make_election_rule(stack.overlay_rule),
+            streams.stream(f"overlay:{node_id}"), stack.overlay,
+            force_active=force_overlay)
+        self.protocol = ByzantineBroadcastProtocol(
+            sim, node_id, self.radio, directory, signer,
+            self.mute, self.verbose, self.trust,
+            ManagerOverlayPort(self.overlay),
+            self.neighbors.neighbors,
+            streams.stream(f"proto:{node_id}"),
+            stack.protocol, behavior, self._on_accept)
+        self.radio.set_receiver(self._on_packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def position(self) -> Position:
+        return self.radio.position
+
+    def start(self) -> None:
+        self.neighbors.start()
+        self.overlay.start()
+        self.protocol.start()
+
+    def stop(self) -> None:
+        self.protocol.stop()
+        self.overlay.stop()
+        self.neighbors.stop()
+        self.mute.stop()
+        self.verbose.stop()
+        self.trust.stop()
+
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: bytes) -> MessageId:
+        """Application-level broadcast(p, m)."""
+        return self.protocol.broadcast(payload)
+
+    def add_accept_listener(
+            self, listener: Callable[[int, int, bytes, MessageId],
+                                     None]) -> None:
+        """``listener(receiver, originator, payload, msg_id)`` on accept."""
+        self._accept_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        if self.neighbors.handle_packet(packet):
+            return
+        self.protocol.handle_packet(packet)
+
+    def _on_accept(self, originator: int, payload: bytes,
+                   msg_id: MessageId) -> None:
+        self.accepted.append((self._sim.now, originator, msg_id))
+        for listener in self._accept_listeners:
+            listener(self._node_id, originator, payload, msg_id)

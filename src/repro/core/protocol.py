@@ -1,0 +1,623 @@
+"""The Byzantine broadcast protocol engine (Figures 3 and 4).
+
+One :class:`ByzantineBroadcastProtocol` instance runs per node.  It
+implements the three concurrent tasks of §3:
+
+1. **Dissemination** — DATA messages are flooded along the overlay;
+2. **Gossip & recovery** — originator-signed gossip entries are lazycast
+   periodically by every node that holds a message; a node that hears
+   gossip about a message it misses requests it (REQUEST_MSG), and an
+   overlay node that cannot serve a request searches two hops out
+   (FIND_MISSING_MSG);
+3. **Failure-detector feeding** — MUTE expectations, VERBOSE indictments,
+   and TRUST suspicions are raised exactly where the pseudo-code does.
+
+Overlay maintenance (task three of the paper) lives in
+:mod:`repro.overlay`; the protocol reaches it through the narrow
+:class:`OverlayPort` interface so that baselines and unit tests can
+substitute static overlays.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..crypto.keystore import KeyDirectory, Signer
+from ..des.kernel import Simulator
+from ..des.random import RandomStream
+from ..des.timers import PeriodicTask
+from ..fd.events import ExpectMode, HeaderPattern, SuspicionReason
+from ..fd.mute import MuteFailureDetector
+from ..fd.trust import TrustFailureDetector
+from ..fd.verbose import VerboseFailureDetector
+from ..radio.packet import BROADCAST, Packet
+from .config import ProtocolConfig
+from . import wire
+from .messages import (
+    DATA,
+    FIND_MISSING_MSG,
+    GOSSIP,
+    REQUEST_MSG,
+    DataMessage,
+    FindMissingMessage,
+    GossipMessage,
+    GossipPacket,
+    MessageId,
+    RequestMessage,
+    data_header,
+)
+from .store import MessageStore
+
+__all__ = [
+    "OverlayPort",
+    "StaticOverlayPort",
+    "ManagerOverlayPort",
+    "NodeBehavior",
+    "CorrectBehavior",
+    "ProtocolStats",
+    "ByzantineBroadcastProtocol",
+]
+
+AcceptCallback = Callable[[int, bytes, MessageId], None]
+
+
+# ----------------------------------------------------------------------
+# Overlay interface
+# ----------------------------------------------------------------------
+class OverlayPort(ABC):
+    """What the dissemination protocol needs to know about the overlay."""
+
+    @abstractmethod
+    def is_member(self) -> bool:
+        """Does this node currently consider itself an overlay node?"""
+
+    @abstractmethod
+    def overlay_neighbors(self) -> List[int]:
+        """OL(1, p): direct neighbors believed to be overlay members."""
+
+    @abstractmethod
+    def is_neighbor_member(self, node_id: int) -> bool:
+        """Is ``node_id`` believed to be an overlay member?"""
+
+
+class StaticOverlayPort(OverlayPort):
+    """A fixed overlay (for unit tests and the overlay-only baseline)."""
+
+    def __init__(self, node_id: int, members: Set[int],
+                 neighbors_fn: Callable[[], List[int]]):
+        self._node_id = node_id
+        self._members = set(members)
+        self._neighbors_fn = neighbors_fn
+
+    def is_member(self) -> bool:
+        return self._node_id in self._members
+
+    def overlay_neighbors(self) -> List[int]:
+        return [n for n in self._neighbors_fn() if n in self._members]
+
+    def is_neighbor_member(self, node_id: int) -> bool:
+        return node_id in self._members
+
+
+class ManagerOverlayPort(OverlayPort):
+    """Adapter over :class:`repro.overlay.OverlayManager`."""
+
+    def __init__(self, manager) -> None:
+        self._manager = manager
+
+    def is_member(self) -> bool:
+        return self._manager.in_overlay
+
+    def overlay_neighbors(self) -> List[int]:
+        return self._manager.overlay_neighbors()
+
+    def is_neighbor_member(self, node_id: int) -> bool:
+        report = self._manager.neighbor_report(node_id)
+        if report is None:
+            return False
+        from ..overlay.state import NodeStatus
+        return report.status is NodeStatus.ACTIVE
+
+
+# ----------------------------------------------------------------------
+# Behaviour hooks (adversaries plug in here)
+# ----------------------------------------------------------------------
+class NodeBehavior:
+    """Per-node behaviour policy.
+
+    Correct nodes use :class:`CorrectBehavior`.  Adversaries override the
+    hooks to drop, mutate, or suppress traffic — modelling Byzantine
+    behaviour *at the node boundary* while the protocol code itself stays
+    identical for everyone.
+    """
+
+    def filter_outgoing(self, kind: str, message: Any) -> Optional[Any]:
+        """Return the (possibly replaced) message to send, or None to drop."""
+        return message
+
+    def intercept_incoming(self, kind: str, message: Any,
+                           link_sender: int) -> bool:
+        """Return True to suppress normal processing of an incoming message."""
+        return False
+
+
+class CorrectBehavior(NodeBehavior):
+    """The identity policy of a correct node."""
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+@dataclass
+class ProtocolStats:
+    broadcasts: int = 0
+    accepted: int = 0
+    duplicates_ignored: int = 0
+    bad_signatures: int = 0
+    forwards: int = 0
+    gossip_packets_sent: int = 0
+    gossip_entries_received: int = 0
+    requests_sent: int = 0
+    requests_received: int = 0
+    requests_served: int = 0
+    finds_initiated: int = 0
+    finds_forwarded: int = 0
+    finds_served: int = 0
+    messages_purged: int = 0
+    max_buffer: int = 0
+
+
+# ----------------------------------------------------------------------
+# The protocol
+# ----------------------------------------------------------------------
+class ByzantineBroadcastProtocol:
+    """One node's instance of the paper's dissemination protocol."""
+
+    def __init__(self, sim: Simulator, node_id: int, transport,
+                 directory: KeyDirectory, signer: Signer,
+                 mute: MuteFailureDetector, verbose: VerboseFailureDetector,
+                 trust: TrustFailureDetector, overlay: OverlayPort,
+                 neighbors_fn: Callable[[], List[int]], rng: RandomStream,
+                 config: ProtocolConfig = ProtocolConfig(),
+                 behavior: Optional[NodeBehavior] = None,
+                 accept_callback: Optional[AcceptCallback] = None):
+        if signer.node_id != node_id:
+            raise ValueError("signer identity does not match node id")
+        self._sim = sim
+        self._node_id = node_id
+        self._transport = transport
+        self._directory = directory
+        self._signer = signer
+        self._mute = mute
+        self._verbose = verbose
+        self._trust = trust
+        self._overlay = overlay
+        self._neighbors_fn = neighbors_fn
+        self._config = config
+        self._rng = rng
+        self._behavior = behavior or CorrectBehavior()
+        self._accept_callback = accept_callback
+        self._store = MessageStore()
+        self._seq = 0
+        self._forwarded_finds: Dict[Tuple[int, MessageId, int], float] = {}
+        self._last_served: Dict[MessageId, float] = {}
+        # One outstanding MUTE expectation per missing message: re-arming a
+        # fresh deadline on every gossip arrival would charge a neighbor
+        # several strikes for a single non-delivery.
+        self._recovery_expectations: Dict[MessageId, object] = {}
+        self._forward_expectations: Dict[MessageId, object] = {}
+        # (requester, msg_id) → times they asked; indicts past a threshold.
+        self._request_counts: Dict[Tuple[int, MessageId], int] = {}
+        self.stats = ProtocolStats()
+        self._gossip_task = PeriodicTask(
+            sim, config.gossip_period, self._gossip_round,
+            jitter=0.25, rng=rng)
+        self._purge_task = PeriodicTask(
+            sim, config.purge_period, self._purge_round,
+            jitter=0.1, rng=rng)
+        # Initialization-time rate policy (§3.1: VERBOSE "includes a method
+        # that allows to specify general requirements about the minimal
+        # spacing between consecutive arrivals of messages of the same
+        # type.  Such a method is typically invoked at initialization").
+        verbose.set_min_spacing(
+            GOSSIP, config.gossip_min_spacing_factor * config.gossip_period)
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def config(self) -> ProtocolConfig:
+        return self._config
+
+    @property
+    def store(self) -> MessageStore:
+        return self._store
+
+    @property
+    def overlay(self) -> OverlayPort:
+        return self._overlay
+
+    def set_accept_callback(self, callback: AcceptCallback) -> None:
+        self._accept_callback = callback
+
+    def start(self) -> None:
+        self._gossip_task.start()
+        self._purge_task.start()
+
+    def stop(self) -> None:
+        self._gossip_task.stop()
+        self._purge_task.stop()
+
+    # ------------------------------------------------------------------
+    # Application interface: broadcast(p, m)
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: bytes) -> MessageId:
+        """Originate a message (pseudo-code lines 1-4).
+
+        Signs ``msg_id ∥ node_id ∥ msg``, broadcasts the DATA packet with
+        TTL 1, and starts gossiping the signed existence proof.
+        """
+        self._seq += 1
+        data = DataMessage.create(self._signer, self._seq, payload, ttl=1)
+        gossip = GossipMessage.create(self._signer, self._seq)
+        now = self._sim.now
+        self._store.add_message(data, now)
+        self._store.mark_accepted(data.msg_id)
+        self._store.add_gossip(gossip)
+        self._store.start_gossiping(data.msg_id, now)
+        self.stats.broadcasts += 1
+        if self._config.piggyback_gossip:
+            data = data.with_gossip(gossip)
+        self._send_data(data)
+        if not self._config.piggyback_gossip:
+            # Line 4: the originator immediately lazycasts sig(m).
+            self._send_gossip_packet([gossip])
+        self._track_buffer()
+        return data.msg_id
+
+    # ------------------------------------------------------------------
+    # Packet dispatch
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> bool:
+        """Route a link-layer packet to its handler.
+
+        Returns True when the packet was a protocol message (consumed).
+        """
+        payload = packet.payload
+        sender = packet.sender
+        if isinstance(payload, DataMessage):
+            if not self._behavior.intercept_incoming(DATA, payload, sender):
+                self._on_data(payload, sender)
+            return True
+        if isinstance(payload, GossipPacket):
+            if not self._behavior.intercept_incoming(GOSSIP, payload, sender):
+                self._on_gossip_packet(payload, sender)
+            return True
+        if isinstance(payload, RequestMessage):
+            if not self._behavior.intercept_incoming(REQUEST_MSG, payload,
+                                                     sender):
+                self._on_request(payload, sender)
+            return True
+        if isinstance(payload, FindMissingMessage):
+            if not self._behavior.intercept_incoming(FIND_MISSING_MSG,
+                                                     payload, sender):
+                self._on_find(payload, sender)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # DATA handler (lines 5-25)
+    # ------------------------------------------------------------------
+    def _on_data(self, message: DataMessage, link_sender: int) -> None:
+        self._note_header_seen(link_sender, message.header)
+        msg_id = message.msg_id
+        if self._store.has_message(msg_id):
+            # Line 4 of the text description: duplicates are ignored —
+            # except that an embedded gossip proof is still useful.
+            self.stats.duplicates_ignored += 1
+            self._absorb_embedded_gossip(message, link_sender)
+            return
+        if not message.verify(self._directory):
+            # Lines 22-24: bad signature → suspect the link sender.
+            self.stats.bad_signatures += 1
+            self._trust.suspect(link_sender, SuspicionReason.BAD_SIGNATURE)
+            return
+        now = self._sim.now
+        self._store.add_message(message, now)
+        if self._store.mark_accepted(msg_id):
+            self.stats.accepted += 1
+            if self._accept_callback is not None:
+                self._accept_callback(msg_id.originator, message.payload,
+                                      msg_id)
+        self._absorb_embedded_gossip(message, link_sender)
+        # The message arrived: any outstanding expectation that a gossiper
+        # supply it is moot.
+        pending = self._recovery_expectations.pop(msg_id, None)
+        if pending is not None:
+            self._mute.fulfill(pending)
+        # Lines 8-11: received correctly, but not from an overlay node and
+        # not from the originator → the overlay should also deliver it.
+        if (link_sender != msg_id.originator
+                and not self._overlay.is_neighbor_member(link_sender)
+                and msg_id not in self._forward_expectations):
+            overlay_neighbors = self._overlay.overlay_neighbors()
+            if overlay_neighbors:
+                self._forward_expectations[msg_id] = self._mute.expect(
+                    HeaderPattern(**data_header(msg_id)),
+                    overlay_neighbors, ExpectMode.ONE)
+        # Lines 12-18: overlay nodes forward; non-overlay nodes relay only
+        # TTL-2 recovery replies one more hop.
+        if self._overlay.is_member():
+            self.stats.forwards += 1
+            self._send_data(message.with_ttl(1))
+        elif message.ttl == 2:
+            self.stats.forwards += 1
+            self._send_data(message.with_ttl(1))
+        # Lines 19-21: if we already heard gossip about it, start gossiping.
+        if self._store.has_gossip(msg_id):
+            self._store.start_gossiping(msg_id, now)
+        self._track_buffer()
+
+    def _absorb_embedded_gossip(self, message: DataMessage,
+                                link_sender: int) -> None:
+        gossip = message.gossip
+        if gossip is None:
+            return
+        if gossip.msg_id != message.msg_id:
+            self._trust.suspect(link_sender,
+                                SuspicionReason.PROTOCOL_VIOLATION)
+            return
+        if not gossip.verify(self._directory):
+            self._trust.suspect(link_sender, SuspicionReason.BAD_SIGNATURE)
+            return
+        self._store.add_gossip(gossip)
+        if self._store.has_message(gossip.msg_id):
+            self._store.start_gossiping(gossip.msg_id, self._sim.now)
+
+    # ------------------------------------------------------------------
+    # GOSSIP handler (lines 26-41)
+    # ------------------------------------------------------------------
+    def _on_gossip_packet(self, packet: GossipPacket,
+                          link_sender: int) -> None:
+        self._verbose.observe(link_sender, GOSSIP)
+        if self._verbose.suspected(link_sender):
+            # "Detecting such nodes is therefore useful in order to allow
+            # nodes to stop reacting to messages from these nodes."
+            return
+        for gossip in packet.entries:
+            self._note_header_seen(link_sender, gossip.header)
+            self._on_gossip_entry(gossip, link_sender)
+
+    def _on_gossip_entry(self, gossip: GossipMessage,
+                         link_sender: int) -> None:
+        self.stats.gossip_entries_received += 1
+        if not gossip.verify(self._directory):
+            # Lines 39-41.
+            self.stats.bad_signatures += 1
+            self._trust.suspect(link_sender, SuspicionReason.BAD_SIGNATURE)
+            return
+        msg_id = gossip.msg_id
+        self._store.add_gossip(gossip)
+        if not self._store.has_message(msg_id):
+            # Lines 27-33: we miss the message.  Expect the gossiper to
+            # supply it, and (unless it *is* the originator) request it from
+            # the gossiper and our overlay neighbors.  At most one
+            # expectation per missing message is outstanding at a time.
+            pending = self._recovery_expectations.get(msg_id)
+            if pending is None or pending.fulfilled:
+                self._recovery_expectations[msg_id] = self._mute.expect(
+                    HeaderPattern(**gossip.data_pattern_header()),
+                    [link_sender], ExpectMode.ONE)
+            if (link_sender != msg_id.originator
+                    or self._config.request_from_originator):
+                self._schedule_request(gossip, link_sender)
+        else:
+            # Lines 34-37: we have the message; make sure we gossip it.
+            self._store.start_gossiping(msg_id, self._sim.now)
+
+    def _schedule_request(self, gossip: GossipMessage,
+                          target: int) -> None:
+        """Send REQUEST_MSG after ``request_timeout`` if still missing."""
+        msg_id = gossip.msg_id
+        if not self._store.may_request(msg_id, self._sim.now,
+                                       self._config.request_min_interval):
+            return
+        self._store.note_request(msg_id, self._sim.now)
+        delay = self._rng.uniform(0.5 * self._config.request_timeout,
+                                  self._config.request_timeout)
+        self._sim.schedule(delay, self._fire_request, gossip, target)
+
+    def _fire_request(self, gossip: GossipMessage, target: int) -> None:
+        if self._store.has_message(gossip.msg_id):
+            return
+        request = RequestMessage.create(self._signer, gossip, target)
+        self.stats.requests_sent += 1
+        self._send(request, REQUEST_MSG, wire.wire_size(request),
+                   link_dest=target)
+
+    # ------------------------------------------------------------------
+    # REQUEST_MSG handler (lines 42-61)
+    # ------------------------------------------------------------------
+    def _on_request(self, request: RequestMessage, link_sender: int) -> None:
+        self.stats.requests_received += 1
+        self._note_header_seen(link_sender, request.header)
+        if self._verbose.suspected(link_sender):
+            # Verbose nodes are cut off: reacting to them is what degrades
+            # the system.
+            return
+        if not request.verify(self._directory):
+            self.stats.bad_signatures += 1
+            self._trust.suspect(link_sender, SuspicionReason.BAD_SIGNATURE)
+            return
+        if request.requester != link_sender:
+            # Signed requests cannot be replayed under another identity;
+            # a relayed/forged copy is a protocol violation by the sender.
+            self._trust.suspect(link_sender,
+                                SuspicionReason.PROTOCOL_VIOLATION)
+            return
+        msg_id = request.gossip.msg_id
+        is_overlay = self._overlay.is_member()
+        # Line 43: only overlay nodes and the addressed gossiper serve.
+        if not is_overlay and self._node_id != request.target:
+            return
+        message = self._store.message(msg_id)
+        if message is not None:
+            # Lines 44-48: serve the message; overlay nodes meter repeated
+            # requests for the same message from the same node ("too many
+            # times" — a couple of retries is the normal collision-recovery
+            # pattern and stays unpunished).
+            if is_overlay:
+                key = (request.requester, msg_id)
+                count = self._request_counts.get(key, 0) + 1
+                self._request_counts[key] = count
+                if count > self._config.request_indict_threshold:
+                    self._verbose.indict(request.requester)
+            self._schedule_serve(msg_id, ttl=1, counter="requests_served",
+                                 link_dest=request.requester)
+            return
+        # Lines 49-57: we do not have it.
+        if request.requester == msg_id.originator:
+            # The originator requesting its own message is absurd.
+            self._verbose.indict(request.requester)
+            return
+        if is_overlay:
+            find = FindMissingMessage.create(
+                self._signer, request.gossip,
+                claimed_holder=request.target, ttl=self._config.find_ttl)
+            self.stats.finds_initiated += 1
+            self._send(find, FIND_MISSING_MSG, wire.wire_size(find))
+
+    # ------------------------------------------------------------------
+    # FIND_MISSING_MSG handler (lines 62-81)
+    # ------------------------------------------------------------------
+    def _on_find(self, find: FindMissingMessage, link_sender: int) -> None:
+        self._note_header_seen(link_sender, find.header)
+        if self._verbose.suspected(link_sender):
+            return
+        if not find.verify(self._directory):
+            self.stats.bad_signatures += 1
+            self._trust.suspect(link_sender, SuspicionReason.BAD_SIGNATURE)
+            return
+        msg_id = find.gossip.msg_id
+        message = self._store.message(msg_id)
+        if message is None:
+            # Lines 63-66: keep searching one more hop.
+            if find.ttl >= 2:
+                key = (find.initiator, msg_id, find.claimed_holder)
+                if key not in self._forwarded_finds:
+                    self._forwarded_finds[key] = self._sim.now
+                    self.stats.finds_forwarded += 1
+                    forwarded = find.with_ttl(find.ttl - 1)
+                    self._send(forwarded, FIND_MISSING_MSG,
+                               wire.wire_size(forwarded))
+            return
+        # Lines 67-78: we have it.
+        if not (self._overlay.is_member()
+                or self._node_id == find.claimed_holder):
+            return
+        if link_sender in self._neighbors_fn():
+            # The sender is our direct neighbor: an overlay node that
+            # already broadcast m to its neighborhood meters *repeated*
+            # searches (one or two may just mean our broadcast collided).
+            if self._overlay.is_member():
+                key = (link_sender, msg_id)
+                count = self._request_counts.get(key, 0) + 1
+                self._request_counts[key] = count
+                if count > self._config.request_indict_threshold:
+                    self._verbose.indict(link_sender)
+            self._schedule_serve(msg_id, ttl=1, counter="finds_served")
+        else:
+            # Reply must travel two hops to reach back past the relay.
+            self._schedule_serve(msg_id, ttl=2, counter="finds_served")
+
+    # ------------------------------------------------------------------
+    # Periodic tasks
+    # ------------------------------------------------------------------
+    def _gossip_round(self) -> None:
+        batches = self._store.gossip_batches(
+            self._config.gossip_aggregation_limit,
+            now=self._sim.now, max_age=self._config.gossip_advertise_ttl)
+        for batch in batches:
+            self._send_gossip_packet(batch)
+
+    def _purge_round(self) -> None:
+        purged = self._store.purge(self._sim.now, self._config.purge_timeout)
+        self.stats.messages_purged += len(purged)
+        horizon = self._sim.now - self._config.purge_timeout
+        for key in [k for k, t in self._forwarded_finds.items()
+                    if t < horizon]:
+            del self._forwarded_finds[key]
+        for msg_id in [m for m, t in self._last_served.items()
+                       if t < horizon]:
+            del self._last_served[msg_id]
+        for key in [k for k in self._request_counts
+                    if not self._store.has_message(k[1])
+                    or self._store.message(k[1]) is None]:
+            self._request_counts.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Send helpers
+    # ------------------------------------------------------------------
+    def _send_data(self, message: DataMessage,
+                   link_dest: int = BROADCAST) -> None:
+        self._send(message, DATA, wire.wire_size(message),
+                   link_dest=link_dest)
+
+    def _send_gossip_packet(self, entries: List[GossipMessage]) -> None:
+        packet = GossipPacket(entries=tuple(entries))
+        if self._send(packet, GOSSIP, wire.wire_size(packet)):
+            self.stats.gossip_packets_sent += 1
+
+    def _send(self, message: Any, kind: str, size: int,
+              link_dest: int = BROADCAST) -> bool:
+        filtered = self._behavior.filter_outgoing(kind, message)
+        if filtered is None:
+            return False
+        self._transport.send(filtered, size_bytes=size, kind=kind,
+                             link_dest=link_dest)
+        return True
+
+    def _schedule_serve(self, msg_id: MessageId, ttl: int, counter: str,
+                        link_dest: int = BROADCAST) -> None:
+        """Answer a recovery request after a random §3.5
+        ``rebroadcast_timeout`` delay.
+
+        The randomization desynchronises hidden-terminal responders, and
+        the :meth:`_serve_allowed` gate collapses redundant replies queued
+        during the same window into a single broadcast.
+        """
+        delay = self._rng.uniform(0.0, self._config.rebroadcast_timeout)
+        self._sim.schedule(delay, self._fire_serve, msg_id, ttl, counter,
+                           link_dest)
+
+    def _fire_serve(self, msg_id: MessageId, ttl: int, counter: str,
+                    link_dest: int) -> None:
+        message = self._store.message(msg_id)
+        if message is None:
+            return  # purged in the meantime
+        if not self._serve_allowed(msg_id):
+            return
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        self._send_data(message.with_ttl(ttl), link_dest=link_dest)
+
+    def _serve_allowed(self, msg_id: MessageId) -> bool:
+        """Collapse near-simultaneous serves of the same message into one
+        broadcast (a broadcast reply reaches every nearby requester)."""
+        last = self._last_served.get(msg_id)
+        now = self._sim.now
+        if last is not None and now - last < self._config.request_timeout:
+            return False
+        self._last_served[msg_id] = now
+        return True
+
+    def _note_header_seen(self, sender: int,
+                          header: Dict[str, Any]) -> None:
+        self._mute.observe(sender, header)
+
+    def _track_buffer(self) -> None:
+        self.stats.max_buffer = max(self.stats.max_buffer,
+                                    self._store.buffered_count)

@@ -1,0 +1,199 @@
+"""Per-node message and gossip bookkeeping.
+
+Tracks, for one protocol node:
+
+* received DATA messages (buffered for retransmission until purged),
+* known gossip proofs (needed both to serve recovery and to re-gossip),
+* which messages the node is actively gossiping about,
+* request pacing (when we last asked for a missing message).
+
+Purging is timeout-based ("we have chosen to use timeout based purging due
+to its simplicity").  Accepted message *ids* are retained even after their
+payloads are purged, which keeps the validity property's at-most-once
+delivery absolute for the lifetime of the node at negligible memory cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .messages import DataMessage, GossipMessage, MessageId
+
+__all__ = ["MessageStore", "StoredMessage"]
+
+
+@dataclass
+class StoredMessage:
+    data: DataMessage
+    received_at: float
+
+
+class MessageStore:
+    """State container for :class:`ByzantineBroadcastProtocol`."""
+
+    def __init__(self) -> None:
+        self._messages: Dict[MessageId, StoredMessage] = {}
+        self._accepted: Set[MessageId] = set()
+        self._gossips: Dict[MessageId, GossipMessage] = {}
+        self._gossiping: Dict[MessageId, float] = {}
+        self._last_request: Dict[MessageId, float] = {}
+        self._gossip_cursor = 0
+
+    # ------------------------------------------------------------------
+    # DATA messages
+    # ------------------------------------------------------------------
+    def has_message(self, msg_id: MessageId) -> bool:
+        """True iff the message was ever received (even if purged since).
+
+        "If a node p receives a message m it has already received
+        beforehand, then m is ignored" — receipt history survives purging
+        so duplicates stay duplicates.
+        """
+        return msg_id in self._accepted or msg_id in self._messages
+
+    def message(self, msg_id: MessageId) -> Optional[DataMessage]:
+        """The buffered DATA message, or None if never received or purged."""
+        stored = self._messages.get(msg_id)
+        return stored.data if stored else None
+
+    def add_message(self, data: DataMessage, now: float) -> None:
+        self._messages[data.msg_id] = StoredMessage(data=data,
+                                                    received_at=now)
+
+    def mark_accepted(self, msg_id: MessageId) -> bool:
+        """Record delivery to the application; False if already delivered."""
+        if msg_id in self._accepted:
+            return False
+        self._accepted.add(msg_id)
+        return True
+
+    def was_accepted(self, msg_id: MessageId) -> bool:
+        return msg_id in self._accepted
+
+    @property
+    def buffered_count(self) -> int:
+        """Current buffer occupancy (the §3.5 buffer-size quantity)."""
+        return len(self._messages)
+
+    @property
+    def accepted_count(self) -> int:
+        return len(self._accepted)
+
+    # ------------------------------------------------------------------
+    # Gossip proofs
+    # ------------------------------------------------------------------
+    def has_gossip(self, msg_id: MessageId) -> bool:
+        return msg_id in self._gossips
+
+    def gossip(self, msg_id: MessageId) -> Optional[GossipMessage]:
+        return self._gossips.get(msg_id)
+
+    def add_gossip(self, gossip: GossipMessage) -> None:
+        self._gossips.setdefault(gossip.msg_id, gossip)
+
+    def start_gossiping(self, msg_id: MessageId, now: float) -> bool:
+        """Begin advertising ``msg_id`` in periodic gossip packets.
+
+        Requires both the gossip proof and (per protocol subtask 1: "p only
+        gossips about messages it has already received") the message
+        itself.  Returns False if already gossiping or prerequisites are
+        missing.
+        """
+        if msg_id in self._gossiping:
+            return False
+        if msg_id not in self._gossips or not self.has_message(msg_id):
+            return False
+        self._gossiping[msg_id] = now
+        return True
+
+    def is_gossiping(self, msg_id: MessageId) -> bool:
+        return msg_id in self._gossiping
+
+    def gossip_batch(self, limit: int, now: Optional[float] = None,
+                     max_age: Optional[float] = None) -> List[GossipMessage]:
+        """The next batch of gossip entries, rotating through active ids so
+        every message gets airtime even when more than ``limit`` are live.
+
+        With ``now``/``max_age`` given, entries that started being gossiped
+        more than ``max_age`` seconds ago are skipped (advertisement TTL).
+        """
+        if now is not None and max_age is not None:
+            horizon = now - max_age
+            active = [self._gossips[m]
+                      for m, started in self._gossiping.items()
+                      if m in self._gossips and started >= horizon]
+        else:
+            active = [self._gossips[m] for m in self._gossiping
+                      if m in self._gossips]
+        if not active:
+            return []
+        if len(active) <= limit:
+            return active
+        start = self._gossip_cursor % len(active)
+        self._gossip_cursor = (start + limit) % len(active)
+        rotated = active[start:] + active[:start]
+        return rotated[:limit]
+
+    def gossip_batches(self, limit: int, now: Optional[float] = None,
+                       max_age: Optional[float] = None
+                       ) -> List[List[GossipMessage]]:
+        """All advertisable entries, split into packets of ≤ ``limit``.
+
+        This is the aggregation semantics proper: entries that do not fit
+        one packet go into further packets in the same round (``limit=1``
+        models a protocol without aggregation — one packet per entry).
+        """
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        if now is not None and max_age is not None:
+            horizon = now - max_age
+            active = [self._gossips[m]
+                      for m, started in self._gossiping.items()
+                      if m in self._gossips and started >= horizon]
+        else:
+            active = [self._gossips[m] for m in self._gossiping
+                      if m in self._gossips]
+        return [active[i:i + limit] for i in range(0, len(active), limit)]
+
+    # ------------------------------------------------------------------
+    # Request pacing
+    # ------------------------------------------------------------------
+    def may_request(self, msg_id: MessageId, now: float,
+                    min_interval: float) -> bool:
+        last = self._last_request.get(msg_id)
+        return last is None or now - last >= min_interval
+
+    def note_request(self, msg_id: MessageId, now: float) -> None:
+        self._last_request[msg_id] = now
+
+    # ------------------------------------------------------------------
+    # Purging
+    # ------------------------------------------------------------------
+    def purge_one(self, msg_id: MessageId) -> bool:
+        """Drop one buffered message (stability-driven purging).
+
+        Returns True if a buffered payload was actually removed; receipt
+        history is retained either way.
+        """
+        if msg_id not in self._messages:
+            return False
+        del self._messages[msg_id]
+        self._gossips.pop(msg_id, None)
+        self._gossiping.pop(msg_id, None)
+        self._last_request.pop(msg_id, None)
+        return True
+
+    def purge(self, now: float, timeout: float) -> List[MessageId]:
+        """Drop buffered payloads and gossip state older than ``timeout``.
+
+        Returns the purged ids.  Accepted-id history is retained.
+        """
+        purged = [msg_id for msg_id, stored in self._messages.items()
+                  if now - stored.received_at >= timeout]
+        for msg_id in purged:
+            del self._messages[msg_id]
+            self._gossips.pop(msg_id, None)
+            self._gossiping.pop(msg_id, None)
+            self._last_request.pop(msg_id, None)
+        return purged

@@ -1,0 +1,142 @@
+"""Wire format for protocol messages: exact byte encodings.
+
+Maps every protocol message to/from bytes via the TLV codec
+(:mod:`repro.codec`), giving the simulator *exact* packet sizes instead of
+header-size estimates.  Decoding validates structure strictly — malformed
+bytes raise, which models a parser that drops garbage frames.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from .. import codec
+from ..radio.neighbors import HelloMessage
+from .messages import (
+    DataMessage,
+    FindMissingMessage,
+    GossipMessage,
+    GossipPacket,
+    MessageId,
+    RequestMessage,
+)
+
+__all__ = ["encode_message", "decode_message", "wire_size", "WireError"]
+
+WireMessage = Union[DataMessage, GossipPacket, RequestMessage,
+                    FindMissingMessage, HelloMessage]
+
+
+class WireError(ValueError):
+    """Raised on messages that cannot be encoded or decoded."""
+
+
+_DATA, _GOSSIP_PKT, _REQUEST, _FIND, _HELLO = "D", "G", "R", "F", "H"
+
+
+def _gossip_fields(gossip: GossipMessage) -> list:
+    return [gossip.msg_id.originator, gossip.msg_id.seq, gossip.signature]
+
+
+def _gossip_from_fields(fields: Any) -> GossipMessage:
+    originator, seq, signature = fields
+    _expect(isinstance(originator, int) and isinstance(seq, int)
+            and isinstance(signature, bytes), "bad gossip fields")
+    return GossipMessage(msg_id=MessageId(originator, seq),
+                         signature=signature)
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireError(message)
+
+
+def encode_message(message: WireMessage) -> bytes:
+    """Serialize any protocol message to its exact wire bytes."""
+    if isinstance(message, DataMessage):
+        body = [_DATA, message.msg_id.originator, message.msg_id.seq,
+                message.payload, message.signature, message.ttl,
+                _gossip_fields(message.gossip)
+                if message.gossip is not None else None]
+    elif isinstance(message, GossipPacket):
+        body = [_GOSSIP_PKT,
+                [_gossip_fields(entry) for entry in message.entries]]
+    elif isinstance(message, RequestMessage):
+        body = [_REQUEST, _gossip_fields(message.gossip), message.requester,
+                message.target, message.signature]
+    elif isinstance(message, FindMissingMessage):
+        body = [_FIND, _gossip_fields(message.gossip),
+                message.claimed_holder, message.initiator, message.ttl,
+                message.signature]
+    elif isinstance(message, HelloMessage):
+        body = [_HELLO, message.sender, message.seq, message.extras,
+                message.signature]
+    else:
+        raise WireError(f"not a wire message: {type(message).__name__}")
+    try:
+        return codec.encode(body)
+    except codec.CodecError as exc:
+        raise WireError(str(exc)) from exc
+
+
+def decode_message(data: bytes) -> WireMessage:
+    """Parse wire bytes back into a message object (strict)."""
+    try:
+        body = codec.decode(data)
+    except codec.CodecError as exc:
+        raise WireError(str(exc)) from exc
+    _expect(isinstance(body, list) and body, "empty frame")
+    kind = body[0]
+    if kind == _DATA:
+        _expect(len(body) == 7, "bad DATA frame")
+        _, originator, seq, payload, signature, ttl, gossip_fields = body
+        _expect(isinstance(payload, bytes) and isinstance(signature, bytes),
+                "bad DATA fields")
+        gossip = (_gossip_from_fields(gossip_fields)
+                  if gossip_fields is not None else None)
+        return DataMessage(msg_id=MessageId(originator, seq),
+                           payload=payload, signature=signature, ttl=ttl,
+                           gossip=gossip)
+    if kind == _GOSSIP_PKT:
+        _expect(len(body) == 2 and isinstance(body[1], list),
+                "bad GOSSIP frame")
+        return GossipPacket(entries=tuple(_gossip_from_fields(fields)
+                                          for fields in body[1]))
+    if kind == _REQUEST:
+        _expect(len(body) == 5, "bad REQUEST frame")
+        _, gossip_fields, requester, target, signature = body
+        return RequestMessage(gossip=_gossip_from_fields(gossip_fields),
+                              requester=requester, target=target,
+                              signature=signature)
+    if kind == _FIND:
+        _expect(len(body) == 6, "bad FIND frame")
+        _, gossip_fields, holder, initiator, ttl, signature = body
+        return FindMissingMessage(gossip=_gossip_from_fields(gossip_fields),
+                                  claimed_holder=holder,
+                                  initiator=initiator, ttl=ttl,
+                                  signature=signature)
+    if kind == _HELLO:
+        _expect(len(body) == 5, "bad HELLO frame")
+        _, sender, seq, extras, signature = body
+        _expect(isinstance(extras, dict), "bad HELLO extras")
+        return HelloMessage(sender=sender, seq=seq,
+                            extras=_freeze_extras(extras),
+                            signature=signature)
+    raise WireError(f"unknown frame kind {kind!r}")
+
+
+def _freeze_extras(extras: dict) -> dict:
+    """Lists inside decoded extras become tuples (matching what the
+    producers put in)."""
+    def freeze(value):
+        if isinstance(value, list):
+            return tuple(freeze(item) for item in value)
+        if isinstance(value, dict):
+            return {key: freeze(item) for key, item in value.items()}
+        return value
+    return {key: freeze(value) for key, value in extras.items()}
+
+
+def wire_size(message: WireMessage) -> int:
+    """Exact on-air size of the message in bytes."""
+    return len(encode_message(message))

@@ -1,0 +1,300 @@
+"""From-scratch DSA (Digital Signature Algorithm).
+
+The paper signs every protocol message with DSA ("In the implementation of
+our protocol we use the DSA protocol [44]").  This module implements the
+full algorithm without external crypto libraries:
+
+* Miller-Rabin primality testing,
+* domain-parameter generation (primes q and p with q | p-1, generator g),
+* key generation, signing and verification (FIPS 186-4 style),
+* deterministic per-message nonces (RFC 6979 flavoured, HMAC-SHA256 based)
+  so that a nonce is never reused across two different messages — the
+  classic DSA key-recovery pitfall.
+
+Parameter generation is deterministic given a seed, so test runs are
+reproducible.  Default parameters (512-bit p, 160-bit q) are generated once
+per process and cached; they are ample for a simulation adversary that can
+only attempt forgeries through the protocol interface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .digest import digest_int
+
+__all__ = [
+    "DsaParameters",
+    "DsaPublicKey",
+    "DsaPrivateKey",
+    "DsaSignature",
+    "generate_parameters",
+    "default_parameters",
+    "generate_keypair",
+    "sign",
+    "verify",
+    "is_probable_prime",
+]
+
+# Deterministic Miller-Rabin bases: sufficient for all n < 3.3 * 10^24.
+_SMALL_PRIME_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97)
+
+
+def is_probable_prime(n: int, rounds: int = 40,
+                      rand: Optional["_Drbg"] = None) -> bool:
+    """Miller-Rabin primality test.
+
+    Uses fixed deterministic bases (correct for n < 3.3e24) plus, for larger
+    n, additional pseudo-random bases drawn from ``rand`` (or derived from n
+    itself, keeping the test deterministic).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # n - 1 = d * 2^r with d odd
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    def composite_witness(a: int) -> bool:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            return False
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                return False
+        return True
+
+    for a in _SMALL_PRIME_BASES:
+        if a >= n - 1:
+            continue
+        if composite_witness(a):
+            return False
+    if n < 3_317_044_064_679_887_385_961_981:
+        return True
+    drbg = rand or _Drbg(n.to_bytes((n.bit_length() + 7) // 8, "big"))
+    for _ in range(rounds):
+        a = 2 + drbg.below(n - 3)
+        if composite_witness(a):
+            return False
+    return True
+
+
+class _Drbg:
+    """Minimal deterministic byte generator (HMAC-SHA256 counter mode).
+
+    Used for reproducible parameter/nonce generation without touching the
+    global :mod:`random` state.
+    """
+
+    def __init__(self, seed: bytes):
+        self._key = hashlib.sha256(seed).digest()
+        self._counter = 0
+
+    def bytes(self, n: int) -> bytes:
+        out = b""
+        while len(out) < n:
+            block = hmac.new(self._key,
+                             self._counter.to_bytes(8, "big"),
+                             hashlib.sha256).digest()
+            self._counter += 1
+            out += block
+        return out[:n]
+
+    def bits(self, k: int) -> int:
+        nbytes = (k + 7) // 8
+        value = int.from_bytes(self.bytes(nbytes), "big")
+        return value >> (nbytes * 8 - k)
+
+    def below(self, bound: int) -> int:
+        """Uniform integer in [0, bound)."""
+        k = bound.bit_length()
+        while True:
+            value = self.bits(k)
+            if value < bound:
+                return value
+
+
+@dataclass(frozen=True)
+class DsaParameters:
+    """DSA domain parameters (p, q, g) with q a prime divisor of p-1."""
+
+    p: int
+    q: int
+    g: int
+
+    @property
+    def p_bits(self) -> int:
+        return self.p.bit_length()
+
+    @property
+    def q_bits(self) -> int:
+        return self.q.bit_length()
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ValueError when broken."""
+        if not is_probable_prime(self.p):
+            raise ValueError("p is not prime")
+        if not is_probable_prime(self.q):
+            raise ValueError("q is not prime")
+        if (self.p - 1) % self.q != 0:
+            raise ValueError("q does not divide p - 1")
+        if not 1 < self.g < self.p:
+            raise ValueError("g out of range")
+        if pow(self.g, self.q, self.p) != 1:
+            raise ValueError("g does not generate the order-q subgroup")
+
+
+@dataclass(frozen=True)
+class DsaPublicKey:
+    parameters: DsaParameters
+    y: int
+
+
+@dataclass(frozen=True)
+class DsaPrivateKey:
+    parameters: DsaParameters
+    x: int
+
+    def public_key(self) -> DsaPublicKey:
+        params = self.parameters
+        return DsaPublicKey(params, pow(params.g, self.x, params.p))
+
+
+@dataclass(frozen=True)
+class DsaSignature:
+    r: int
+    s: int
+
+    def to_bytes(self, q_bits: int) -> bytes:
+        width = (q_bits + 7) // 8
+        return self.r.to_bytes(width, "big") + self.s.to_bytes(width, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DsaSignature":
+        if len(data) % 2 != 0 or not data:
+            raise ValueError("malformed DSA signature encoding")
+        half = len(data) // 2
+        return cls(int.from_bytes(data[:half], "big"),
+                   int.from_bytes(data[half:], "big"))
+
+
+def generate_parameters(p_bits: int = 512, q_bits: int = 160,
+                        seed: bytes = b"repro-dsa") -> DsaParameters:
+    """Generate DSA domain parameters deterministically from ``seed``.
+
+    Finds a ``q_bits`` prime q, then searches for p = q*m + 1 of ``p_bits``
+    bits that is prime, then derives a generator g = h^((p-1)/q) mod p.
+    """
+    if q_bits >= p_bits:
+        raise ValueError("q_bits must be smaller than p_bits")
+    if q_bits < 16:
+        raise ValueError("q_bits too small to be meaningful")
+    drbg = _Drbg(seed)
+    # Find prime q.
+    while True:
+        q = drbg.bits(q_bits) | (1 << (q_bits - 1)) | 1
+        if is_probable_prime(q, rand=drbg):
+            break
+    # Find prime p with q | p - 1.
+    while True:
+        m = drbg.bits(p_bits - q_bits)
+        p = q * m + 1
+        if p.bit_length() != p_bits:
+            continue
+        if is_probable_prime(p, rand=drbg):
+            break
+    # Find generator of the order-q subgroup.
+    exponent = (p - 1) // q
+    h = 2
+    while True:
+        g = pow(h, exponent, p)
+        if g > 1:
+            break
+        h += 1
+    params = DsaParameters(p=p, q=q, g=g)
+    return params
+
+
+_DEFAULT_PARAMETERS: Optional[DsaParameters] = None
+
+
+def default_parameters() -> DsaParameters:
+    """Process-wide cached 512/160 parameters (deterministic)."""
+    global _DEFAULT_PARAMETERS
+    if _DEFAULT_PARAMETERS is None:
+        _DEFAULT_PARAMETERS = generate_parameters(512, 160)
+    return _DEFAULT_PARAMETERS
+
+
+def generate_keypair(parameters: DsaParameters,
+                     seed: bytes) -> Tuple[DsaPrivateKey, DsaPublicKey]:
+    """Deterministically derive a keypair from ``seed``."""
+    drbg = _Drbg(b"keygen:" + seed)
+    x = 1 + drbg.below(parameters.q - 1)
+    private = DsaPrivateKey(parameters, x)
+    return private, private.public_key()
+
+
+def _deterministic_nonce(private: DsaPrivateKey, message: bytes) -> int:
+    """Per-message nonce k in [1, q-1], RFC 6979 flavoured.
+
+    Binding k to (x, message) means signing the same message twice yields
+    the same signature, and two different messages never share k — which
+    would otherwise leak the private key.
+    """
+    q = private.parameters.q
+    material = (private.x.to_bytes((q.bit_length() + 7) // 8, "big")
+                + hashlib.sha256(message).digest())
+    drbg = _Drbg(b"nonce:" + material)
+    return 1 + drbg.below(q - 1)
+
+
+def sign(private: DsaPrivateKey, message: bytes) -> DsaSignature:
+    """Sign ``message`` (bytes) with the standard DSA equations."""
+    params = private.parameters
+    p, q, g = params.p, params.q, params.g
+    z = digest_int(message, q.bit_length()) % q
+    while True:
+        k = _deterministic_nonce(private, message)
+        r = pow(g, k, p) % q
+        if r == 0:
+            message = message + b"\x00"  # renonce; astronomically unlikely
+            continue
+        k_inv = pow(k, -1, q)
+        s = (k_inv * (z + private.x * r)) % q
+        if s == 0:
+            message = message + b"\x00"
+            continue
+        return DsaSignature(r, s)
+
+
+def verify(public: DsaPublicKey, message: bytes,
+           signature: DsaSignature) -> bool:
+    """Verify a DSA signature; returns False on any malformation."""
+    params = public.parameters
+    p, q, g = params.p, params.q, params.g
+    r, s = signature.r, signature.s
+    if not (0 < r < q and 0 < s < q):
+        return False
+    z = digest_int(message, q.bit_length()) % q
+    try:
+        w = pow(s, -1, q)
+    except ValueError:
+        return False
+    u1 = (z * w) % q
+    u2 = (r * w) % q
+    v = ((pow(g, u1, p) * pow(public.y, u2, p)) % p) % q
+    return v == r

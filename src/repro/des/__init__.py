@@ -1,0 +1,15 @@
+"""Discrete-event simulation kernel (SWANS/JiST stand-in)."""
+
+from .kernel import Event, SimulationError, Simulator
+from .random import RandomStream, StreamFactory
+from .timers import PeriodicTask, Timer
+
+__all__ = [
+    "Event",
+    "PeriodicTask",
+    "RandomStream",
+    "SimulationError",
+    "Simulator",
+    "StreamFactory",
+    "Timer",
+]

@@ -1,0 +1,124 @@
+"""Timer utilities built on the DES kernel.
+
+The protocol stack needs three recurring shapes:
+
+* one-shot restartable timers (MUTE failure-detector deadlines),
+* periodic tasks (gossip ``lazycast``, overlay computation steps, HELLO
+  beacons, suspicion aging),
+* jittered periodic tasks (desynchronised gossip rounds, as real nodes'
+  clocks are not phase-aligned).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .kernel import Event, Simulator
+from .random import RandomStream
+
+__all__ = ["Timer", "PeriodicTask"]
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start`` (re)arms the timer; ``cancel`` disarms it.  The callback runs
+    once when the timeout expires, unless restarted or cancelled first.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., Any]):
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer is counting down."""
+        return self._event is not None and self._event.active
+
+    def start(self, timeout: float, *args: Any) -> None:
+        """Arm (or re-arm) the timer to fire ``timeout`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(timeout, self._fire, args)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed.  Idempotent."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self, args: tuple) -> None:
+        self._event = None
+        self._callback(*args)
+
+
+class PeriodicTask:
+    """Repeatedly invokes a callback every ``period`` seconds.
+
+    With a :class:`RandomStream` supplied, each interval is jittered
+    uniformly in ``[period * (1 - jitter), period * (1 + jitter)]`` which
+    desynchronises otherwise phase-locked nodes (this materially reduces
+    collisions in the radio model, just as in real deployments).
+    """
+
+    def __init__(self, sim: Simulator, period: float,
+                 callback: Callable[[], Any], *,
+                 jitter: float = 0.0,
+                 rng: Optional[RandomStream] = None,
+                 start_immediately: bool = False):
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period}")
+        if jitter and rng is None:
+            raise ValueError("jitter requires an rng")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {jitter}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._jitter = jitter
+        self._rng = rng
+        self._event: Optional[Event] = None
+        self._running = False
+        self._start_immediately = start_immediately
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    def set_period(self, period: float) -> None:
+        """Change the period; takes effect from the next scheduling."""
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period}")
+        self._period = period
+
+    def start(self) -> None:
+        """Begin periodic execution.  Idempotent while running."""
+        if self._running:
+            return
+        self._running = True
+        delay = 0.0 if self._start_immediately else self._next_interval()
+        self._event = self._sim.schedule(delay, self._tick)
+
+    def stop(self) -> None:
+        """Halt periodic execution.  Idempotent."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _next_interval(self) -> float:
+        if self._jitter and self._rng is not None:
+            return self._rng.uniform(self._period * (1 - self._jitter),
+                                     self._period * (1 + self._jitter))
+        return self._period
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._event = self._sim.schedule(self._next_interval(), self._tick)

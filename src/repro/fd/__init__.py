@@ -1,0 +1,25 @@
+"""Failure detectors: MUTE, VERBOSE, TRUST (Figure 2 of the paper)."""
+
+from .events import ANY, ExpectMode, HeaderPattern, SuspicionReason
+from .interval import IntervalChecker, PropertyReport, Window
+from .mute import Expectation, MuteConfig, MuteFailureDetector
+from .trust import TrustConfig, TrustFailureDetector, TrustLevel
+from .verbose import VerboseConfig, VerboseFailureDetector
+
+__all__ = [
+    "ANY",
+    "Expectation",
+    "ExpectMode",
+    "HeaderPattern",
+    "IntervalChecker",
+    "MuteConfig",
+    "MuteFailureDetector",
+    "PropertyReport",
+    "SuspicionReason",
+    "TrustConfig",
+    "TrustFailureDetector",
+    "TrustLevel",
+    "VerboseConfig",
+    "VerboseFailureDetector",
+    "Window",
+]

@@ -1,0 +1,87 @@
+"""Shared failure-detector types: header patterns, modes, reasons.
+
+The MUTE failure detector's ``expect`` method "accepts as parameters the
+expected message header, the set of nodes that are supposed to send the
+message, and a one or all indication.  Note that the header passed to this
+method can include wildcards as well as exact values for each of the
+header's fields."  :class:`HeaderPattern` implements exactly that matching
+discipline against plain header mappings.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Mapping
+
+__all__ = ["ANY", "ExpectMode", "HeaderPattern", "SuspicionReason"]
+
+
+class _Wildcard:
+    """Matches any value in a header field."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+ANY = _Wildcard()
+
+
+class ExpectMode(enum.Enum):
+    """Whether one matching sender suffices, or all listed nodes must send."""
+
+    ONE = "one"
+    ALL = "all"
+
+
+class SuspicionReason(enum.Enum):
+    """Why a node's trust was reduced (fed to the TRUST detector)."""
+
+    MUTE = "mute"
+    VERBOSE = "verbose"
+    BAD_SIGNATURE = "bad signature reason"
+    PEER_REPORT = "peer report"
+    PROTOCOL_VIOLATION = "protocol violation"
+
+
+class HeaderPattern:
+    """A header template with exact values and wildcards.
+
+    ``HeaderPattern(msg_type="data", originator=3, seq=ANY)`` matches every
+    DATA header from originator 3 regardless of sequence number.
+    """
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, **fields: Any):
+        if not fields:
+            raise ValueError("a header pattern needs at least one field")
+        self._fields = fields
+
+    @property
+    def fields(self) -> Mapping[str, Any]:
+        return dict(self._fields)
+
+    def matches(self, header: Mapping[str, Any]) -> bool:
+        """True iff every non-wildcard field equals the header's value."""
+        for name, expected in self._fields.items():
+            if expected is ANY:
+                if name not in header:
+                    return False
+                continue
+            if header.get(name, _MISSING) != expected:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._fields.items())
+        return f"HeaderPattern({inner})"
+
+
+_MISSING = object()

@@ -1,0 +1,213 @@
+"""The MUTE failure detector.
+
+Detects *mute failures*: "failure to send a message with an expected header
+w.r.t. the protocol".  The protocol registers expectations through
+:meth:`MuteFailureDetector.expect`; every received header is fed through
+:meth:`observe`.  When an expectation's timer lapses unfulfilled, the nodes
+that failed to send are charged one strike.
+
+Suspicion is *counter-based with aging*, exactly as §3.1 prescribes: "In
+order to recover from mistakes, both the MUTE and the VERBOSE failure
+detectors employ an aging mechanism.  That is, the suspicion counters for
+each node are periodically decremented."  A node is suspected while its
+counter is at or above ``suspicion_threshold``; the aging task decrements
+all counters every ``aging_period`` seconds, so a suspicion raised by one
+unlucky collision decays, while a genuinely mute node keeps accumulating
+strikes faster than they age out — yielding the interval (I_mute) semantics
+of §2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Set
+
+from ..des.kernel import Simulator
+from ..des.timers import PeriodicTask
+from .events import ExpectMode, HeaderPattern, SuspicionReason
+
+__all__ = ["MuteConfig", "MuteFailureDetector", "Expectation"]
+
+SuspectListener = Callable[[int, SuspicionReason], None]
+
+
+@dataclass(frozen=True)
+class MuteConfig:
+    """Timing parameters for the MUTE detector.
+
+    ``expect_timeout`` bounds how long a node may take to forward a message
+    it should forward; ``suspicion_threshold`` strikes within the aging
+    window make a node suspected.
+    """
+
+    expect_timeout: float = 2.0
+    suspicion_threshold: int = 3
+    aging_period: float = 10.0
+    aging_amount: int = 1
+
+    def __post_init__(self) -> None:
+        if self.expect_timeout <= 0:
+            raise ValueError("expect_timeout must be positive")
+        if self.suspicion_threshold < 1:
+            raise ValueError("suspicion_threshold must be >= 1")
+        if self.aging_period <= 0:
+            raise ValueError("aging_period must be positive")
+        if self.aging_amount < 0:
+            raise ValueError("aging_amount must be non-negative")
+
+
+@dataclass
+class Expectation:
+    """A pending ``expect`` registration."""
+
+    pattern: HeaderPattern
+    pending: Set[int]
+    mode: ExpectMode
+    deadline: float
+    fulfilled: bool = False
+
+
+@dataclass
+class MuteStats:
+    expectations: int = 0
+    fulfilled: int = 0
+    timeouts: int = 0
+    suspicions_raised: int = 0
+
+
+class MuteFailureDetector:
+    """Per-node MUTE detector (one instance per protocol node)."""
+
+    def __init__(self, sim: Simulator, config: MuteConfig = MuteConfig()):
+        self._sim = sim
+        self._config = config
+        self._expectations: List[Expectation] = []
+        self._counters: Dict[int, int] = {}
+        self._listeners: List[SuspectListener] = []
+        self.stats = MuteStats()
+        # Aging runs lazily: it ticks only while counters exist, so an idle
+        # detector schedules no events (and bounded sim.run() terminates).
+        self._aging = PeriodicTask(sim, config.aging_period, self._age)
+
+    @property
+    def config(self) -> MuteConfig:
+        return self._config
+
+    def add_listener(self, listener: SuspectListener) -> None:
+        self._listeners.append(listener)
+
+    def stop(self) -> None:
+        self._aging.stop()
+
+    # ------------------------------------------------------------------
+    # The paper's interface (Figure 2)
+    # ------------------------------------------------------------------
+    def expect(self, pattern: HeaderPattern, nodes: Iterable[int],
+               mode: ExpectMode = ExpectMode.ONE,
+               timeout: float = None) -> Expectation:
+        """Expect a message matching ``pattern`` from ``nodes``.
+
+        ``mode=ONE``: any single listed node sending fulfils the
+        expectation (and the rest are off the hook).  ``mode=ALL``: every
+        listed node must send; each straggler is charged at the deadline.
+        """
+        pending = set(nodes)
+        deadline = self._sim.now + (timeout if timeout is not None
+                                    else self._config.expect_timeout)
+        expectation = Expectation(pattern=pattern, pending=pending,
+                                  mode=mode, deadline=deadline)
+        self.stats.expectations += 1
+        if not pending:
+            expectation.fulfilled = True
+            return expectation
+        self._expectations.append(expectation)
+        self._sim.schedule_at(deadline, self._check_deadline, expectation)
+        return expectation
+
+    def fulfill(self, expectation: Expectation) -> None:
+        """Withdraw an expectation that became moot (e.g. the protocol
+        obtained the awaited message through another channel)."""
+        if expectation.fulfilled:
+            return
+        expectation.fulfilled = True
+        self.stats.fulfilled += 1
+        try:
+            self._expectations.remove(expectation)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Feeding observations
+    # ------------------------------------------------------------------
+    def observe(self, sender: int, header: Mapping[str, Any]) -> None:
+        """Report that ``sender`` transmitted a message with ``header``."""
+        fulfilled_any = False
+        for expectation in self._expectations:
+            if expectation.fulfilled or sender not in expectation.pending:
+                continue
+            if not expectation.pattern.matches(header):
+                continue
+            if expectation.mode is ExpectMode.ONE:
+                expectation.fulfilled = True
+                expectation.pending.clear()
+            else:
+                expectation.pending.discard(sender)
+                if not expectation.pending:
+                    expectation.fulfilled = True
+            if expectation.fulfilled:
+                self.stats.fulfilled += 1
+                fulfilled_any = True
+        if fulfilled_any:
+            self._expectations = [e for e in self._expectations
+                                  if not e.fulfilled]
+
+    # ------------------------------------------------------------------
+    # Suspicion queries
+    # ------------------------------------------------------------------
+    def suspected(self, node_id: int) -> bool:
+        return (self._counters.get(node_id, 0)
+                >= self._config.suspicion_threshold)
+
+    def suspected_nodes(self) -> List[int]:
+        return sorted(node for node, count in self._counters.items()
+                      if count >= self._config.suspicion_threshold)
+
+    def suspicion_count(self, node_id: int) -> int:
+        return self._counters.get(node_id, 0)
+
+    def clear_suspicion(self, node_id: int) -> None:
+        """Explicitly rehabilitate a node (used by tests/experiments)."""
+        self._counters.pop(node_id, None)
+
+    # ------------------------------------------------------------------
+    def _check_deadline(self, expectation: Expectation) -> None:
+        if expectation.fulfilled:
+            return
+        expectation.fulfilled = True  # consumed either way
+        self.stats.timeouts += 1
+        try:
+            self._expectations.remove(expectation)
+        except ValueError:
+            pass
+        for node in sorted(expectation.pending):
+            self._strike(node)
+
+    def _strike(self, node: int) -> None:
+        count = self._counters.get(node, 0) + 1
+        self._counters[node] = count
+        self._aging.start()
+        if count == self._config.suspicion_threshold:
+            self.stats.suspicions_raised += 1
+            for listener in self._listeners:
+                listener(node, SuspicionReason.MUTE)
+
+    def _age(self) -> None:
+        if self._config.aging_amount:
+            for node in list(self._counters):
+                remaining = self._counters[node] - self._config.aging_amount
+                if remaining <= 0:
+                    del self._counters[node]
+                else:
+                    self._counters[node] = remaining
+        if not self._counters:
+            self._aging.stop()

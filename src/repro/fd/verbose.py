@@ -1,0 +1,134 @@
+"""The VERBOSE failure detector.
+
+Detects *verbose failures*: "sending messages too often w.r.t. the
+protocol".  Two inputs feed it:
+
+* explicit :meth:`indict` calls from the protocol ("this method simply
+  indicts a process that has sent too many messages of a certain type");
+* rate policing: "a method that allows to specify general requirements
+  about the minimal spacing between consecutive arrivals of messages of the
+  same type", typically invoked at initialization time
+  (:meth:`set_min_spacing`), enforced by feeding every arrival through
+  :meth:`observe`.
+
+A per-node counter accumulates indictments; crossing the threshold makes
+the node suspected.  An aging task periodically decrements all counters so
+the detector recovers from bursts of false indictments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..des.kernel import Simulator
+from ..des.timers import PeriodicTask
+from .events import SuspicionReason
+
+__all__ = ["VerboseConfig", "VerboseFailureDetector"]
+
+SuspectListener = Callable[[int, SuspicionReason], None]
+
+
+@dataclass(frozen=True)
+class VerboseConfig:
+    suspicion_threshold: int = 5     # indictments before suspicion
+    aging_period: float = 10.0       # seconds between counter decrements
+    aging_amount: int = 1            # how much each aging tick removes
+
+    def __post_init__(self) -> None:
+        if self.suspicion_threshold < 1:
+            raise ValueError("suspicion_threshold must be >= 1")
+        if self.aging_period <= 0:
+            raise ValueError("aging_period must be positive")
+        if self.aging_amount < 0:
+            raise ValueError("aging_amount must be non-negative")
+
+
+@dataclass
+class VerboseStats:
+    indictments: int = 0
+    rate_violations: int = 0
+    suspicions_raised: int = 0
+
+
+class VerboseFailureDetector:
+    """Per-node VERBOSE detector."""
+
+    def __init__(self, sim: Simulator,
+                 config: VerboseConfig = VerboseConfig()):
+        self._sim = sim
+        self._config = config
+        self._counters: Dict[int, int] = {}
+        self._min_spacing: Dict[str, float] = {}
+        self._last_arrival: Dict[Tuple[int, str], float] = {}
+        self._listeners: List[SuspectListener] = []
+        self.stats = VerboseStats()
+        # Lazy aging: ticks only while counters exist (see MUTE detector).
+        self._aging = PeriodicTask(sim, config.aging_period, self._age)
+
+    @property
+    def config(self) -> VerboseConfig:
+        return self._config
+
+    def add_listener(self, listener: SuspectListener) -> None:
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # The paper's interface (Figure 2)
+    # ------------------------------------------------------------------
+    def indict(self, node_id: int) -> None:
+        """Indict ``node_id`` for being too verbose."""
+        self.stats.indictments += 1
+        count = self._counters.get(node_id, 0) + 1
+        self._counters[node_id] = count
+        self._aging.start()
+        if count == self._config.suspicion_threshold:
+            self.stats.suspicions_raised += 1
+            for listener in self._listeners:
+                listener(node_id, SuspicionReason.VERBOSE)
+
+    def set_min_spacing(self, msg_type: str, spacing: float) -> None:
+        """Declare the minimum legal spacing between consecutive messages of
+        ``msg_type`` from a single node (initialization-time policy)."""
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        self._min_spacing[msg_type] = spacing
+
+    def observe(self, sender: int, msg_type: str) -> None:
+        """Feed one arrival; auto-indicts on rate violations."""
+        spacing = self._min_spacing.get(msg_type)
+        if spacing is None:
+            return
+        key = (sender, msg_type)
+        last = self._last_arrival.get(key)
+        self._last_arrival[key] = self._sim.now
+        if last is not None and (self._sim.now - last) < spacing:
+            self.stats.rate_violations += 1
+            self.indict(sender)
+
+    # ------------------------------------------------------------------
+    def suspected(self, node_id: int) -> bool:
+        return (self._counters.get(node_id, 0)
+                >= self._config.suspicion_threshold)
+
+    def suspected_nodes(self) -> List[int]:
+        return sorted(node for node, count in self._counters.items()
+                      if count >= self._config.suspicion_threshold)
+
+    def suspicion_count(self, node_id: int) -> int:
+        return self._counters.get(node_id, 0)
+
+    def stop(self) -> None:
+        self._aging.stop()
+
+    def _age(self) -> None:
+        if self._config.aging_amount:
+            for node in list(self._counters):
+                remaining = self._counters[node] - self._config.aging_amount
+                if remaining <= 0:
+                    del self._counters[node]
+                else:
+                    self._counters[node] = remaining
+        if not self._counters:
+            self._aging.stop()

@@ -1,0 +1,16 @@
+"""Metrics: delivery records, latency/overhead summaries."""
+
+from .collector import BroadcastRecord, MetricsCollector
+from .fd_metrics import FdScorecard, SuspicionEvent
+from .summary import Summary, mean, percentile, summarize
+
+__all__ = [
+    "BroadcastRecord",
+    "FdScorecard",
+    "SuspicionEvent",
+    "MetricsCollector",
+    "Summary",
+    "mean",
+    "percentile",
+    "summarize",
+]

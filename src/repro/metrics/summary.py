@@ -1,0 +1,58 @@
+"""Small, dependency-light statistics helpers for experiment summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["Summary", "summarize", "mean", "percentile"]
+
+
+def mean(values: Sequence[float]) -> Optional[float]:
+    values = list(values)
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.4f} min={self.minimum:.4f} "
+                f"p50={self.p50:.4f} p95={self.p95:.4f} max={self.maximum:.4f}")
+
+
+def summarize(values: Iterable[float]) -> Optional[Summary]:
+    """Summarize a sample; None for an empty one."""
+    sample: List[float] = list(values)
+    if not sample:
+        return None
+    return Summary(
+        count=len(sample),
+        mean=sum(sample) / len(sample),
+        minimum=min(sample),
+        maximum=max(sample),
+        p50=percentile(sample, 0.50),
+        p95=percentile(sample, 0.95),
+    )

@@ -1,0 +1,26 @@
+"""Node placement and mobility models."""
+
+from .gaussmarkov import GaussMarkov
+from .placement import (
+    connected_uniform_positions,
+    connectivity_graph,
+    grid_positions,
+    is_connected,
+    line_positions,
+    uniform_positions,
+)
+from .waypoint import MobilityModel, RandomWalk, RandomWaypoint, StaticMobility
+
+__all__ = [
+    "GaussMarkov",
+    "MobilityModel",
+    "RandomWalk",
+    "RandomWaypoint",
+    "StaticMobility",
+    "connected_uniform_positions",
+    "connectivity_graph",
+    "grid_positions",
+    "is_connected",
+    "line_positions",
+    "uniform_positions",
+]

@@ -1,0 +1,103 @@
+"""Gauss-Markov mobility.
+
+The third classic ad-hoc mobility model (besides waypoint and walk):
+velocity and heading evolve as mean-reverting Gauss-Markov processes, so
+movement is temporally correlated — no sharp zig-zags — with tunable
+memory α ∈ [0, 1] (α→1: near-constant velocity; α→0: memoryless walk).
+
+Standard formulation (Camp/Boleng/Davies survey):
+
+    s_t = α·s_{t−1} + (1−α)·s̄ + √(1−α²)·σ_s·N(0,1)
+    d_t = α·d_{t−1} + (1−α)·d̄ + √(1−α²)·σ_d·N(0,1)
+
+Near a boundary the mean heading d̄ is steered back toward the area
+center, the usual edge treatment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..des.kernel import Simulator
+from ..des.random import RandomStream
+from ..radio.geometry import Area, Position
+from ..radio.radio import Radio
+from .waypoint import MobilityModel
+
+__all__ = ["GaussMarkov"]
+
+
+@dataclass
+class _State:
+    speed: float
+    heading: float
+
+
+class GaussMarkov(MobilityModel):
+    """Temporally-correlated mobility with tunable memory."""
+
+    def __init__(self, sim: Simulator, radios: Sequence[Radio], area: Area,
+                 rng: RandomStream, *, mean_speed: float = 1.5,
+                 speed_sigma: float = 0.5, heading_sigma: float = 0.6,
+                 alpha: float = 0.85, tick: float = 0.5,
+                 edge_margin_factor: float = 0.1):
+        super().__init__(sim, radios, tick)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1]: {alpha}")
+        if mean_speed <= 0:
+            raise ValueError("mean_speed must be positive")
+        self._area = area
+        self._rng = rng
+        self._mean_speed = mean_speed
+        self._speed_sigma = speed_sigma
+        self._heading_sigma = heading_sigma
+        self._alpha = alpha
+        self._margin = edge_margin_factor * min(area.width, area.height)
+        self._states: Dict[int, _State] = {}
+
+    # ------------------------------------------------------------------
+    def next_position(self, radio: Radio, dt: float) -> Position:
+        state = self._states.get(radio.node_id)
+        if state is None:
+            state = _State(speed=self._mean_speed,
+                           heading=self._rng.uniform(0.0, 2 * math.pi))
+            self._states[radio.node_id] = state
+        alpha = self._alpha
+        noise = math.sqrt(max(0.0, 1.0 - alpha * alpha))
+        mean_heading = self._steered_mean_heading(radio.position,
+                                                  state.heading)
+        state.speed = (alpha * state.speed
+                       + (1 - alpha) * self._mean_speed
+                       + noise * self._speed_sigma
+                       * self._rng.gauss(0.0, 1.0))
+        state.speed = max(0.0, state.speed)
+        state.heading = (alpha * state.heading
+                         + (1 - alpha) * mean_heading
+                         + noise * self._heading_sigma
+                         * self._rng.gauss(0.0, 1.0))
+        step = state.speed * dt
+        moved = radio.position.translated(step * math.cos(state.heading),
+                                          step * math.sin(state.heading))
+        if not self._area.contains(moved):
+            # Reflect and flip the heading so momentum stays plausible.
+            moved = self._area.reflect(moved)
+            state.heading = self._heading_toward_center(moved)
+        return moved
+
+    # ------------------------------------------------------------------
+    def _steered_mean_heading(self, position: Position,
+                              current: float) -> float:
+        """Near an edge the mean heading turns toward the center."""
+        near_edge = (position.x < self._margin
+                     or position.y < self._margin
+                     or position.x > self._area.width - self._margin
+                     or position.y > self._area.height - self._margin)
+        if not near_edge:
+            return current
+        return self._heading_toward_center(position)
+
+    def _heading_toward_center(self, position: Position) -> float:
+        return math.atan2(self._area.height / 2 - position.y,
+                          self._area.width / 2 - position.x)

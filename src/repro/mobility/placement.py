@@ -1,0 +1,109 @@
+"""Initial node placement strategies.
+
+The paper's system model assumes "the transitive closure of the
+transmission disks of correct nodes form a connected graph"; without it
+dissemination to all correct nodes is impossible.  The placement helpers
+here therefore include connectivity-constrained generators (rejection
+sampling over uniform placements, and a deterministic chain/grid layout for
+worst-case analysis experiments such as E10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import networkx as nx
+
+from ..des.random import RandomStream
+from ..radio.geometry import Area, Position
+
+__all__ = [
+    "uniform_positions",
+    "grid_positions",
+    "line_positions",
+    "connectivity_graph",
+    "is_connected",
+    "connected_uniform_positions",
+]
+
+
+def uniform_positions(area: Area, count: int,
+                      rng: RandomStream) -> List[Position]:
+    """``count`` positions i.i.d. uniform over ``area``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [Position(rng.uniform(0.0, area.width),
+                     rng.uniform(0.0, area.height))
+            for _ in range(count)]
+
+
+def grid_positions(area: Area, count: int,
+                   margin: float = 0.0) -> List[Position]:
+    """``count`` positions on a near-square grid covering ``area``."""
+    if count <= 0:
+        return []
+    columns = max(1, math.ceil(math.sqrt(count)))
+    rows = max(1, math.ceil(count / columns))
+    usable_w = area.width - 2 * margin
+    usable_h = area.height - 2 * margin
+    positions = []
+    for index in range(count):
+        row, col = divmod(index, columns)
+        x = margin + (usable_w * (col + 0.5) / columns)
+        y = margin + (usable_h * (row + 0.5) / rows)
+        positions.append(Position(x, y))
+    return positions
+
+
+def line_positions(count: int, spacing: float,
+                   y: float = 0.0) -> List[Position]:
+    """A chain of nodes ``spacing`` apart — the worst-case diameter topology
+    used to stress the §3.5 dissemination-time bound."""
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    return [Position(index * spacing, y) for index in range(count)]
+
+
+def connectivity_graph(positions: Sequence[Position],
+                       tx_range: float) -> "nx.Graph":
+    """The geometric graph induced by the transmission disks."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(positions)))
+    for i, a in enumerate(positions):
+        for j in range(i + 1, len(positions)):
+            if a.within(positions[j], tx_range):
+                graph.add_edge(i, j)
+    return graph
+
+
+def is_connected(positions: Sequence[Position], tx_range: float,
+                 subset: Optional[Sequence[int]] = None) -> bool:
+    """True iff the (sub)graph induced by the disks is connected."""
+    graph = connectivity_graph(positions, tx_range)
+    if subset is not None:
+        graph = graph.subgraph(subset)
+    if graph.number_of_nodes() <= 1:
+        return True
+    return nx.is_connected(graph)
+
+
+def connected_uniform_positions(area: Area, count: int, tx_range: float,
+                                rng: RandomStream,
+                                required_connected: Optional[
+                                    Sequence[int]] = None,
+                                max_tries: int = 500) -> List[Position]:
+    """Uniform placement, rejection-sampled until connectivity holds.
+
+    ``required_connected`` restricts the connectivity requirement to a node
+    subset (the correct nodes, per the paper's assumption); by default the
+    whole network must be connected.
+    """
+    for _ in range(max_tries):
+        positions = uniform_positions(area, count, rng)
+        if is_connected(positions, tx_range, required_connected):
+            return positions
+    raise RuntimeError(
+        f"no connected placement of {count} nodes with range {tx_range} "
+        f"in {area.width}x{area.height} after {max_tries} tries; "
+        "increase density or range")

@@ -1,0 +1,20 @@
+"""Overlay maintenance: trust-aware CDS and MIS+B election (§3.3)."""
+
+from .cds import CdsRule
+from .manager import OverlayConfig, OverlayManager
+from .metrics import OverlayQuality, evaluate_overlay
+from .misb import MisBridgeRule
+from .state import ElectionRule, LocalView, NeighborReport, NodeStatus
+
+__all__ = [
+    "CdsRule",
+    "ElectionRule",
+    "LocalView",
+    "MisBridgeRule",
+    "NeighborReport",
+    "NodeStatus",
+    "OverlayConfig",
+    "OverlayManager",
+    "OverlayQuality",
+    "evaluate_overlay",
+]

@@ -1,0 +1,86 @@
+"""Trust-aware Connected Dominating Set election.
+
+A self-stabilizing localized CDS in the style the paper adopts from [21]
+(itself a generalization of Wu & Li's marking process, reference [48] of
+the paper), with node ids as the goodness number:
+
+* **Marking**: a node marks itself active when two of its trusted
+  neighbors are not adjacent to each other (it may be needed to connect
+  them).
+* **Pruning (Rule 1)**: an active node p demotes itself when a single
+  trusted neighbor v with a *higher id* covers p's trusted neighborhood
+  (N(p) ⊆ N(v) ∪ {v}).
+* **Pruning (Rule 2)**: p demotes itself when two adjacent trusted
+  neighbors u, v, both with higher ids, jointly cover p's neighborhood.
+* **Isolation / leaf cases**: a node with no trusted neighbors is active
+  (it must cover itself); a node whose neighborhood is a clique stays
+  passive unless it has the highest id in the clique — ensuring each
+  one-hop neighborhood keeps at least one active node, which is what the
+  broadcast protocol's "one correct node per neighborhood" property
+  plugs into.
+
+All decisions use only two-hop knowledge carried by neighbor reports, and
+only *trusted* neighbors participate — suspected nodes are excluded, so the
+overlay routes around detectably-Byzantine members.
+"""
+
+from __future__ import annotations
+
+from .state import ElectionRule, LocalView, NodeStatus
+
+__all__ = ["CdsRule"]
+
+
+class CdsRule(ElectionRule):
+    """Wu&Li-style marking + id-ordered pruning over trusted neighbors."""
+
+    name = "cds"
+
+    def decide(self, view: LocalView) -> NodeStatus:
+        neighbors = view.trusted_neighbors
+        if not neighbors:
+            return NodeStatus.ACTIVE
+        if self._is_marked(view) and not self._pruned(view):
+            return NodeStatus.ACTIVE
+        if self._highest_in_clique(view):
+            return NodeStatus.ACTIVE
+        return NodeStatus.PASSIVE
+
+    # ------------------------------------------------------------------
+    def _is_marked(self, view: LocalView) -> bool:
+        """Two trusted neighbors not adjacent to each other?"""
+        neighbors = sorted(view.trusted_neighbors)
+        for i, u in enumerate(neighbors):
+            u_adjacency = view.neighbors_of(u)
+            for v in neighbors[i + 1:]:
+                if v not in u_adjacency and u not in view.neighbors_of(v):
+                    return True
+        return False
+
+    def _pruned(self, view: LocalView) -> bool:
+        me = view.node_id
+        mine = view.trusted_neighbors
+        higher = [n for n in mine if n > me]
+        # Rule 1: one higher-id neighbor covers us.
+        for v in higher:
+            coverage = set(view.neighbors_of(v)) | {v}
+            if mine <= coverage:
+                return True
+        # Rule 2: two adjacent higher-id neighbors cover us jointly.
+        for i, u in enumerate(higher):
+            for v in higher[i + 1:]:
+                if not view.adjacent(u, v):
+                    continue
+                coverage = (set(view.neighbors_of(u))
+                            | set(view.neighbors_of(v)) | {u, v})
+                if mine <= coverage:
+                    return True
+        return False
+
+    def _highest_in_clique(self, view: LocalView) -> bool:
+        """In a fully-connected neighborhood nobody gets marked; elect the
+        highest id so every one-hop neighborhood retains coverage."""
+        me = view.node_id
+        if any(n > me for n in view.trusted_neighbors):
+            return False
+        return not self._is_marked(view)

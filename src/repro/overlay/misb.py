@@ -1,0 +1,108 @@
+"""Trust-aware Maximal Independent Set with Bridges (MIS+B).
+
+The second overlay maintenance protocol the paper adapts from [21].  Two
+layers, both decided from purely local (two-hop) information with ids as
+the symmetry breaker:
+
+* **MIS layer** (self-stabilizing, id-greedy): a node is an MIS member iff
+  no trusted neighbor with a higher id currently claims MIS membership.
+  On a static graph this converges to the lexicographically-first maximal
+  independent set, which is a dominating set of the trusted subgraph.
+* **Bridge layer**: MIS members are pairwise non-adjacent, so connectivity
+  needs connectors.  A non-MIS node p elects itself a bridge when
+
+  - (distance-2 pairs) p is adjacent to two non-adjacent MIS members u, v
+    and p has the highest id among the common trusted neighbors of u and v
+    that p can observe; or
+  - (distance-3 pairs) p is adjacent to an MIS member u and to a non-MIS
+    neighbor w that reports an MIS neighbor v with u ≠ v and v not
+    adjacent to p.  Both endpoints of such a two-hop connector elect
+    themselves; over-selection costs overlay size, never correctness, and
+    is measured by experiment E7.
+
+The overlay is the union of MIS members and bridges.
+"""
+
+from __future__ import annotations
+
+from .state import ElectionRule, LocalView, NodeStatus
+
+__all__ = ["MisBridgeRule"]
+
+
+class MisBridgeRule(ElectionRule):
+    """MIS membership + bridge election over trusted neighbors."""
+
+    name = "mis+b"
+
+    def decide(self, view: LocalView) -> NodeStatus:
+        if self.mis_member(view):
+            return NodeStatus.ACTIVE
+        if self._is_bridge(view):
+            return NodeStatus.ACTIVE
+        return NodeStatus.PASSIVE
+
+    def mis_member(self, view: LocalView) -> bool:
+        """No higher-id trusted neighbor claims MIS membership."""
+        return not any(n > view.node_id and view.is_mis(n)
+                       for n in view.trusted_neighbors)
+
+    # ------------------------------------------------------------------
+    def _is_bridge(self, view: LocalView) -> bool:
+        return (self._bridges_distance2_pair(view)
+                or self._bridges_distance3_pair(view))
+
+    def _bridges_distance2_pair(self, view: LocalView) -> bool:
+        me = view.node_id
+        mis_neighbors = sorted(view.mis_neighbors())
+        for i, u in enumerate(mis_neighbors):
+            for v in mis_neighbors[i + 1:]:
+                if view.adjacent(u, v):
+                    continue
+                if not self._outranked_for_pair(view, u, v, me):
+                    return True
+        return False
+
+    def _outranked_for_pair(self, view: LocalView, u: int, v: int,
+                            me: int) -> bool:
+        """Is there a higher-id common neighbor of u and v that would also
+        bridge this pair?  (Best-effort from reported neighbor lists.)"""
+        u_neighbors = view.neighbors_of(u)
+        v_neighbors = view.neighbors_of(v)
+        for candidate in view.trusted_neighbors:
+            if candidate <= me:
+                continue
+            if candidate in u_neighbors and candidate in v_neighbors:
+                return True
+        return False
+
+    def _bridges_distance3_pair(self, view: LocalView) -> bool:
+        mis_neighbors = view.mis_neighbors()
+        if not mis_neighbors:
+            return False
+        for w in view.trusted_neighbors:
+            if view.is_mis(w):
+                continue
+            for v in view.mis_neighbors_of(w):
+                if v in view.trusted_neighbors or v == view.node_id:
+                    continue  # distance <= 2 from us; handled above
+                if not any(u != v for u in mis_neighbors):
+                    continue
+                if not self._outranked_for_relay(view, w):
+                    return True
+        return False
+
+    def _outranked_for_relay(self, view: LocalView, w: int) -> bool:
+        """Would a higher-id neighbor also bridge through ``w``?
+
+        Any trusted neighbor x > me that is adjacent to both w and an MIS
+        member can play this end of the u—·—w—v connector; defer to it.
+        """
+        me = view.node_id
+        for x in view.trusted_neighbors:
+            if x <= me or x == w:
+                continue
+            x_neighbors = view.neighbors_of(x)
+            if w in x_neighbors and view.mis_neighbors_of(x):
+                return True
+        return False

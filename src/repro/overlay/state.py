@@ -1,0 +1,106 @@
+"""Overlay election state: local views and the election-rule interface.
+
+§3.3: "Each node has a local status, which can be either active or passive
+... The local state of each node includes a status, and its knowledge of
+the local states of all its neighbors (based on the last local state they
+reported to it). ... Also, p records for each neighbor the list of its
+active neighbors."
+
+:class:`LocalView` is exactly that knowledge, restricted — as the paper
+requires — to *trusted* neighbors: untrusted nodes are invisible to the
+election, which is how detectably-Byzantine nodes are routed around.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+__all__ = ["NodeStatus", "LocalView", "ElectionRule", "NeighborReport"]
+
+
+class NodeStatus(enum.Enum):
+    """Overlay membership status (active = in the overlay)."""
+
+    ACTIVE = "active"
+    PASSIVE = "passive"
+
+
+@dataclass
+class NeighborReport:
+    """The last state a neighbor reported about itself."""
+
+    status: NodeStatus = NodeStatus.PASSIVE
+    mis_member: bool = False
+    neighbors: FrozenSet[int] = frozenset()
+    mis_neighbors: FrozenSet[int] = frozenset()
+    suspects: FrozenSet[int] = frozenset()
+    updated_at: float = 0.0
+
+
+@dataclass
+class LocalView:
+    """Everything an election rule may base its decision on.
+
+    Strictly local: own id, trusted one-hop neighbors, and what those
+    neighbors last reported (their own neighbor lists, statuses, and MIS
+    membership flags) — i.e. two-hop knowledge, the locality the paper's
+    self-stabilizing protocols [21] operate at.
+    """
+
+    node_id: int
+    trusted_neighbors: FrozenSet[int]
+    neighbor_neighbors: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    neighbor_status: Dict[int, NodeStatus] = field(default_factory=dict)
+    neighbor_mis: Dict[int, bool] = field(default_factory=dict)
+    # Per neighbor: the MIS members that neighbor reports being adjacent to
+    # ("p records for each neighbor the list of its active neighbors").
+    neighbor_mis_neighbors: Dict[int, FrozenSet[int]] = field(
+        default_factory=dict)
+
+    def neighbors_of(self, node_id: int) -> FrozenSet[int]:
+        """The trusted-neighbor list ``node_id`` last reported (empty if it
+        never reported)."""
+        return self.neighbor_neighbors.get(node_id, frozenset())
+
+    def is_active(self, node_id: int) -> bool:
+        return self.neighbor_status.get(node_id) is NodeStatus.ACTIVE
+
+    def is_mis(self, node_id: int) -> bool:
+        return self.neighbor_mis.get(node_id, False)
+
+    def adjacent(self, a: int, b: int) -> bool:
+        """Best-effort adjacency test from reported neighbor lists."""
+        return b in self.neighbors_of(a) or a in self.neighbors_of(b)
+
+    def active_neighbors(self) -> Set[int]:
+        return {n for n in self.trusted_neighbors if self.is_active(n)}
+
+    def mis_neighbors(self) -> Set[int]:
+        return {n for n in self.trusted_neighbors if self.is_mis(n)}
+
+    def mis_neighbors_of(self, node_id: int) -> FrozenSet[int]:
+        """MIS members that ``node_id`` reported being adjacent to."""
+        return self.neighbor_mis_neighbors.get(node_id, frozenset())
+
+
+class ElectionRule(ABC):
+    """A deterministic, purely local overlay-membership rule.
+
+    Rules must be *monotone in ids*: the symmetry breaker is the node
+    identifier ("we replace the notion of a goodness number with the node's
+    id (which is unforgeable, by assumption)").
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def decide(self, view: LocalView) -> NodeStatus:
+        """Whether the node should currently consider itself active."""
+
+    def mis_member(self, view: LocalView) -> bool:
+        """Whether the node is an MIS member (rules without an MIS layer
+        return False; used by MIS+B state publication)."""
+        return False

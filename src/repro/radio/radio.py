@@ -1,0 +1,79 @@
+"""Per-node radio: position, transmission range, MAC, receive dispatch."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..des.kernel import Simulator
+from ..des.random import RandomStream
+from .geometry import Position
+from .mac import CsmaMac, MacConfig
+from .medium import Medium
+from .packet import BROADCAST, Packet
+
+__all__ = ["Radio"]
+
+
+class Radio:
+    """A node's wireless interface.
+
+    Owns the node's position (mutable — mobility models update it), its
+    transmission range, and a :class:`CsmaMac` instance.  Incoming packets
+    are handed to the registered receiver callback.
+    """
+
+    def __init__(self, sim: Simulator, medium: Medium, node_id: int,
+                 position: Position, tx_range: float, rng: RandomStream,
+                 mac_config: Optional[MacConfig] = None):
+        self._sim = sim
+        self._medium = medium
+        self._node_id = node_id
+        self._position = position
+        self._tx_range = tx_range
+        self._receiver: Optional[Callable[[Packet], None]] = None
+        self._mac = CsmaMac(sim, medium, node_id, rng, mac_config)
+        medium.attach(node_id, lambda: self._position, tx_range,
+                      self._on_packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def position(self) -> Position:
+        return self._position
+
+    @position.setter
+    def position(self, value: Position) -> None:
+        self._position = value
+
+    @property
+    def tx_range(self) -> float:
+        return self._tx_range
+
+    @property
+    def mac(self) -> CsmaMac:
+        return self._mac
+
+    # ------------------------------------------------------------------
+    def set_receiver(self, handler: Callable[[Packet], None]) -> None:
+        self._receiver = handler
+
+    def send(self, payload, size_bytes: int, kind: str = "data",
+             link_dest: int = BROADCAST) -> bool:
+        """Queue a frame for transmission; returns False on queue overflow."""
+        packet = Packet(sender=self._node_id, payload=payload,
+                        size_bytes=size_bytes, kind=kind, link_dest=link_dest)
+        return self._mac.send(packet)
+
+    def power_off(self) -> None:
+        """Silence the radio entirely (for crash-fault experiments)."""
+        self._medium.set_enabled(self._node_id, False)
+
+    def power_on(self) -> None:
+        self._medium.set_enabled(self._node_id, True)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if self._receiver is not None:
+            self._receiver(packet)

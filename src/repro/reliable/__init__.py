@@ -1,0 +1,16 @@
+"""Reliable FIFO broadcast on top of the paper's primitive (footnote 4)."""
+
+from .channel import ReliableChannel
+from .flow import FlowControlledSender
+from .ordering import FifoDeliveryQueue, GapPolicy, OrderedDelivery
+from .stability import StabilityConfig, StabilityDetector
+
+__all__ = [
+    "FifoDeliveryQueue",
+    "FlowControlledSender",
+    "GapPolicy",
+    "OrderedDelivery",
+    "ReliableChannel",
+    "StabilityConfig",
+    "StabilityDetector",
+]

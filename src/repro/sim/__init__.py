@@ -1,0 +1,34 @@
+"""Experiment runner, sweeps, and table rendering."""
+
+from .campaign import Campaign, config_key, result_to_record
+from .experiment import (
+    PROTOCOLS,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from .network import Network, NetworkBuilder
+from .plots import bar_chart, series_chart, spark_line
+from .render import format_rows, format_series, format_table
+from .sweeps import SweepPoint, average_results, run_sweep
+
+__all__ = [
+    "Campaign",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Network",
+    "NetworkBuilder",
+    "PROTOCOLS",
+    "SweepPoint",
+    "average_results",
+    "format_rows",
+    "format_series",
+    "format_table",
+    "bar_chart",
+    "config_key",
+    "result_to_record",
+    "run_experiment",
+    "run_sweep",
+    "series_chart",
+    "spark_line",
+]

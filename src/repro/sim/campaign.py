@@ -1,0 +1,134 @@
+"""Experiment campaigns: many configurations, persisted results, resume.
+
+A :class:`Campaign` owns a directory of result records (one JSON file per
+configuration, keyed by a content hash of the configuration).  Re-running
+a campaign skips configurations whose results already exist, so a large
+evaluation can be built up incrementally across interrupted sessions —
+the workflow a full paper evaluation actually needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..workloads.scenarios import AdversaryMix, ScenarioConfig
+from .experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = ["Campaign", "config_key", "result_to_record"]
+
+
+def _jsonable(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: _jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def config_key(config: ExperimentConfig) -> str:
+    """Stable content hash identifying one configuration."""
+    canonical = json.dumps(_jsonable(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def result_to_record(config: ExperimentConfig,
+                     result: ExperimentResult) -> Dict[str, Any]:
+    """A flat, JSON-serializable record of one run."""
+    return {
+        "key": config_key(config),
+        "protocol": result.protocol,
+        "n": result.n,
+        "byzantine": result.byzantine,
+        "seed": config.scenario.seed,
+        "broadcasts": result.broadcasts,
+        "delivery_ratio": result.delivery_ratio,
+        "complete_fraction": result.complete_fraction,
+        "mean_latency": result.mean_latency,
+        "max_latency": result.max_latency,
+        "mean_completion_latency": result.mean_completion_latency,
+        "physical": _jsonable(result.physical),
+        "energy": _jsonable(result.energy),
+        "overlay_quality": _jsonable(result.overlay_quality),
+        "config": _jsonable(config),
+    }
+
+
+class Campaign:
+    """A persisted collection of experiment runs."""
+
+    def __init__(self, directory: str):
+        self._directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self._directory, f"{key}.json")
+
+    def has(self, config: ExperimentConfig) -> bool:
+        return os.path.exists(self._path(config_key(config)))
+
+    def load(self, config: ExperimentConfig) -> Optional[Dict[str, Any]]:
+        path = self._path(config_key(config))
+        if not os.path.exists(path):
+            return None
+        with open(path) as handle:
+            return json.load(handle)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All persisted records, sorted by key for determinism."""
+        out = []
+        for name in sorted(os.listdir(self._directory)):
+            if not name.endswith(".json"):
+                continue
+            with open(os.path.join(self._directory, name)) as handle:
+                out.append(json.load(handle))
+        return out
+
+    # ------------------------------------------------------------------
+    def run(self, configs: Iterable[ExperimentConfig], *,
+            force: bool = False,
+            progress: Optional[Callable[[str], None]] = None
+            ) -> Tuple[int, int]:
+        """Run every configuration not yet persisted.
+
+        Returns ``(executed, skipped)``.
+        """
+        executed = skipped = 0
+        for config in configs:
+            key = config_key(config)
+            path = self._path(key)
+            if not force and os.path.exists(path):
+                skipped += 1
+                continue
+            if progress is not None:
+                progress(f"running {config.protocol} n={config.scenario.n} "
+                         f"seed={config.scenario.seed} [{key}]")
+            result = run_experiment(config)
+            record = result_to_record(config, result)
+            tmp = path + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(record, handle, indent=1)
+            os.replace(tmp, path)
+            executed += 1
+        return executed, skipped
+
+    # ------------------------------------------------------------------
+    def rows(self, *fields: str) -> List[Dict[str, Any]]:
+        """Project the campaign's records onto selected fields."""
+        selected = fields or ("protocol", "n", "byzantine", "seed",
+                              "delivery_ratio", "mean_latency")
+        return [{name: record.get(name) for name in selected}
+                for record in self.records()]

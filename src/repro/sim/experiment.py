@@ -1,0 +1,316 @@
+"""One-call experiment runner.
+
+Turns a :class:`ScenarioConfig` + protocol selection into a live simulated
+network, injects a broadcast workload, and returns an
+:class:`ExperimentResult` with the quantities the paper's evaluation
+reports (delivery ratio, latency, overhead by packet type, overlay
+quality).
+
+Protocols:
+
+* ``"byzcast"``       — the paper's protocol (overlay + gossip + recovery
+  + failure detectors);
+* ``"flooding"``      — plain signed flooding;
+* ``"overlay_only"``  — one overlay, no gossip/recovery;
+* ``"multi_overlay"`` — the f+1 node-independent-overlays baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..adversary.policies import make_behavior
+from ..baselines.flooding import FloodingNode
+from ..baselines.multi_overlay import (
+    MultiOverlayNode,
+    build_independent_overlays,
+)
+from ..baselines.overlay_only import OverlayOnlyNode
+from ..core.messages import MessageId
+from ..core.node import NetworkNode, NodeStackConfig
+from ..crypto.keystore import HmacScheme, KeyDirectory
+from ..des.kernel import Simulator
+from ..des.random import StreamFactory
+from ..metrics.collector import MetricsCollector
+from ..mobility.placement import (
+    connected_uniform_positions,
+    connectivity_graph,
+    grid_positions,
+    line_positions,
+)
+from ..mobility.gaussmarkov import GaussMarkov
+from ..mobility.waypoint import RandomWalk, RandomWaypoint, StaticMobility
+from ..overlay.metrics import OverlayQuality, evaluate_overlay
+from ..radio.energy import EnergyModel
+from ..radio.geometry import Area, Position
+from ..radio.medium import Medium
+from ..radio.propagation import LogNormalShadowing, UnitDisk
+from ..workloads.scenarios import ScenarioConfig
+from ..workloads.sources import BroadcastEvent, periodic_source
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment",
+           "PROTOCOLS"]
+
+PROTOCOLS = ("byzcast", "flooding", "overlay_only", "multi_overlay")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A scenario plus protocol and workload selection."""
+
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    protocol: str = "byzcast"
+    stack: NodeStackConfig = field(default_factory=NodeStackConfig)
+    warmup: float = 8.0
+    message_count: int = 5
+    message_interval: float = 2.0
+    source: int = 0
+    drain: float = 15.0
+    overlay_count: Optional[int] = None   # multi_overlay only
+    workload: Optional[Sequence[BroadcastEvent]] = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}")
+        if self.warmup < 0 or self.drain < 0:
+            raise ValueError("warmup/drain must be non-negative")
+        if self.message_count < 1 and self.workload is None:
+            raise ValueError("need at least one message")
+
+    def events(self) -> List[BroadcastEvent]:
+        if self.workload is not None:
+            return sorted(self.workload, key=lambda e: e.time)
+        return periodic_source(self.source, self.message_interval,
+                               self.message_count,
+                               payload_size=self.scenario.payload_size)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    protocol: str
+    n: int
+    byzantine: int
+    broadcasts: int
+    delivery_ratio: float
+    complete_fraction: float
+    mean_latency: Optional[float]
+    max_latency: Optional[float]
+    mean_completion_latency: Optional[float]
+    physical: Dict[str, float]
+    energy: Dict[str, float]
+    overlay_quality: Optional[OverlayQuality]
+    sim_time: float
+
+    @property
+    def protocol_transmissions(self) -> float:
+        """Transmissions excluding HELLO beacons (infrastructure chatter is
+        reported separately so protocols with/without beacons compare on
+        dissemination cost)."""
+        return (self.physical.get("transmissions", 0)
+                - self.physical.get("tx_hello", 0))
+
+    @property
+    def transmissions_per_broadcast(self) -> float:
+        if not self.broadcasts:
+            return 0.0
+        return self.protocol_transmissions / self.broadcasts
+
+    @property
+    def protocol_bytes(self) -> float:
+        """Bytes on air excluding HELLO beacons."""
+        return (self.physical.get("bytes_sent", 0)
+                - self.physical.get("bytes_hello", 0))
+
+    @property
+    def bytes_per_broadcast(self) -> float:
+        if not self.broadcasts:
+            return 0.0
+        return self.protocol_bytes / self.broadcasts
+
+    @property
+    def data_transmissions_per_broadcast(self) -> float:
+        """DATA packets per broadcast — the dissemination cost proper."""
+        if not self.broadcasts:
+            return 0.0
+        return self.physical.get("tx_data", 0) / self.broadcasts
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "byz": self.byzantine,
+            "delivery": round(self.delivery_ratio, 4),
+            "complete": round(self.complete_fraction, 4),
+            "lat_mean": (round(self.mean_latency, 4)
+                         if self.mean_latency is not None else None),
+            "lat_max": (round(self.max_latency, 4)
+                        if self.max_latency is not None else None),
+            "tx/bcast": round(self.transmissions_per_broadcast, 1),
+            "collisions": self.physical.get("collisions", 0),
+        }
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Build the world, run the workload, measure."""
+    scenario = config.scenario
+    sim = Simulator()
+    streams = StreamFactory(scenario.seed)
+    adversary_rng = streams.stream("adversary")
+    sources = {event.source for event in config.events()}
+    assignment = scenario.byzantine_assignment(sources, adversary_rng)
+    correct = set(range(scenario.n)) - set(assignment)
+
+    positions = _positions(scenario, streams, correct)
+    area = Area(scenario.side(), scenario.side())
+    propagation = _propagation(scenario)
+    medium = Medium(sim, streams.stream("medium"), propagation,
+                    bitrate_bps=scenario.bitrate_bps)
+    energy = EnergyModel(sim, medium)
+    directory = KeyDirectory(HmacScheme(seed=str(scenario.seed).encode()))
+
+    nodes = _build_nodes(config, sim, medium, positions, streams, directory,
+                         assignment)
+
+    collector = MetricsCollector(correct)
+    listener = collector.listener(sim)
+    for node in nodes:
+        node.add_accept_listener(listener)
+
+    mobility = _mobility(scenario, sim, [node.radio for node in nodes],
+                         area, streams)
+    for node in nodes:
+        node.start()
+    mobility.start()
+
+    sim.run(until=config.warmup)
+
+    events = config.events()
+    for event in events:
+        sim.schedule_at(config.warmup + event.time, _inject, sim, collector,
+                        nodes[event.source], event)
+    horizon = config.warmup + max(e.time for e in events) + config.drain
+    sim.run(until=horizon)
+
+    overlay_quality = _overlay_snapshot(config, nodes, scenario, correct)
+    for node in nodes:
+        node.stop()
+
+    return ExperimentResult(
+        protocol=config.protocol,
+        n=scenario.n,
+        byzantine=len(assignment),
+        broadcasts=collector.broadcast_count,
+        delivery_ratio=collector.delivery_ratio(),
+        complete_fraction=collector.complete_fraction(),
+        mean_latency=collector.mean_latency(),
+        max_latency=collector.max_latency(),
+        mean_completion_latency=_mean(collector.completion_latencies()),
+        physical=collector.physical_summary(medium),
+        energy=energy.summary(),
+        overlay_quality=overlay_quality,
+        sim_time=sim.now,
+    )
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _inject(sim: Simulator, collector: MetricsCollector, node,
+            event: BroadcastEvent) -> None:
+    msg_id = node.broadcast(event.payload())
+    collector.on_broadcast(msg_id, sim.now)
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def _positions(scenario: ScenarioConfig, streams: StreamFactory,
+               correct: set) -> List[Position]:
+    side = scenario.side()
+    area = Area(side, side)
+    rng = streams.stream("placement")
+    if scenario.placement == "uniform_connected":
+        return connected_uniform_positions(
+            area, scenario.n, scenario.tx_range, rng,
+            required_connected=sorted(correct))
+    if scenario.placement == "grid":
+        return grid_positions(area, scenario.n, margin=scenario.tx_range / 4)
+    if scenario.placement == "line":
+        return line_positions(
+            scenario.n, scenario.line_spacing_factor * scenario.tx_range)
+    raise AssertionError(scenario.placement)
+
+
+def _propagation(scenario: ScenarioConfig):
+    if scenario.propagation == "disk":
+        return UnitDisk()
+    return LogNormalShadowing(sigma=scenario.shadowing_sigma,
+                              background_loss=scenario.background_loss)
+
+
+def _mobility(scenario: ScenarioConfig, sim: Simulator, radios, area,
+              streams: StreamFactory):
+    rng = streams.stream("mobility")
+    if scenario.mobility == "static":
+        return StaticMobility(sim, radios)
+    if scenario.mobility == "waypoint":
+        return RandomWaypoint(sim, radios, area, rng,
+                              speed_max=scenario.speed_max)
+    if scenario.mobility == "gaussmarkov":
+        return GaussMarkov(sim, radios, area, rng,
+                           mean_speed=scenario.speed_max / 2)
+    return RandomWalk(sim, radios, area, rng, speed_max=scenario.speed_max)
+
+
+def _build_nodes(config: ExperimentConfig, sim: Simulator, medium: Medium,
+                 positions: List[Position], streams: StreamFactory,
+                 directory: KeyDirectory,
+                 assignment: Dict[int, str]) -> List:
+    scenario = config.scenario
+    behaviors = {
+        node_id: make_behavior(kind, streams.stream(f"behavior:{node_id}"))
+        for node_id, kind in assignment.items()
+    }
+    if config.protocol == "byzcast":
+        return [NetworkNode(sim, medium, i, positions[i], scenario.tx_range,
+                            streams, directory, config.stack,
+                            behavior=behaviors.get(i))
+                for i in range(scenario.n)]
+    if config.protocol == "flooding":
+        return [FloodingNode(sim, medium, i, positions[i], scenario.tx_range,
+                             streams, directory, config.stack.mac,
+                             behavior=behaviors.get(i))
+                for i in range(scenario.n)]
+    if config.protocol == "overlay_only":
+        return [OverlayOnlyNode(sim, medium, i, positions[i],
+                                scenario.tx_range, streams, directory,
+                                config.stack.mac,
+                                overlay_rule=config.stack.overlay_rule,
+                                hello_period=config.stack.hello_period,
+                                behavior=behaviors.get(i))
+                for i in range(scenario.n)]
+    # multi_overlay
+    graph = connectivity_graph(positions, scenario.tx_range)
+    count = config.overlay_count or max(1, len(assignment)) + 1
+    overlays = build_independent_overlays(graph, count)
+    return [MultiOverlayNode(
+        sim, medium, i, positions[i], scenario.tx_range, streams,
+        directory,
+        overlay_memberships=[i in overlay for overlay in overlays],
+        mac_config=config.stack.mac, behavior=behaviors.get(i))
+        for i in range(scenario.n)]
+
+
+def _overlay_snapshot(config: ExperimentConfig, nodes, scenario,
+                      correct: set) -> Optional[OverlayQuality]:
+    if config.protocol not in ("byzcast", "overlay_only"):
+        return None
+    positions = {node.node_id: node.position for node in nodes}
+    members = {node.node_id for node in nodes if node.overlay.in_overlay}
+    return evaluate_overlay(positions, scenario.tx_range, members, correct)

@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark harness prints the same rows/series the paper's evaluation
+reports; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_rows"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """A fixed-width ASCII table."""
+    materialized: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(
+            value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[Dict[str, object]]) -> str:
+    """Render a list of uniform dicts (e.g. ``ExperimentResult.row()``)."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row.get(h) for h in headers]
+                                  for row in rows])
+
+
+def format_series(name: str, xs: Sequence[object],
+                  ys: Sequence[Optional[float]],
+                  unit: str = "") -> str:
+    """One figure series as ``name: x→y`` pairs."""
+    pairs = ", ".join(
+        f"{x}→{_cell(y)}" for x, y in zip(xs, ys))
+    suffix = f" [{unit}]" if unit else ""
+    return f"{name}{suffix}: {pairs}"
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,91 @@
+"""Parameter sweeps with seeded replication.
+
+The paper's figures are parameter sweeps (n on the x-axis, or the mute
+fraction).  ``run_sweep`` runs an experiment factory over a parameter list,
+optionally replicating each point over several seeds and averaging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..workloads.scenarios import ScenarioConfig
+from .experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = ["SweepPoint", "run_sweep", "average_results"]
+
+
+@dataclass
+class SweepPoint:
+    """One x-axis point: the parameter value and its (averaged) result."""
+
+    parameter: object
+    result: ExperimentResult
+    replicates: int = 1
+
+
+def run_sweep(parameters: Sequence[object],
+              make_config: Callable[[object], ExperimentConfig],
+              seeds: Sequence[int] = (1,),
+              progress: Optional[Callable[[str], None]] = None
+              ) -> List[SweepPoint]:
+    """Run ``make_config(parameter)`` for every parameter × seed.
+
+    Each parameter's results across seeds are averaged into one point.
+    """
+    points: List[SweepPoint] = []
+    for parameter in parameters:
+        results: List[ExperimentResult] = []
+        for seed in seeds:
+            config = make_config(parameter)
+            config = replace(
+                config, scenario=config.scenario.with_seed(seed))
+            if progress is not None:
+                progress(f"running {config.protocol} "
+                         f"param={parameter!r} seed={seed}")
+            results.append(run_experiment(config))
+        points.append(SweepPoint(parameter=parameter,
+                                 result=average_results(results),
+                                 replicates=len(results)))
+    return points
+
+
+def average_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Element-wise average of replicated runs (None-aware for latencies)."""
+    if not results:
+        raise ValueError("nothing to average")
+    if len(results) == 1:
+        return results[0]
+    first = results[0]
+
+    def avg(values: List[Optional[float]]) -> Optional[float]:
+        present = [v for v in values if v is not None]
+        return sum(present) / len(present) if present else None
+
+    physical: Dict[str, float] = {}
+    for key in {k for r in results for k in r.physical}:
+        physical[key] = sum(r.physical.get(key, 0.0)
+                            for r in results) / len(results)
+    energy: Dict[str, float] = {}
+    for key in {k for r in results for k in r.energy}:
+        energy[key] = sum(r.energy.get(key, 0.0)
+                          for r in results) / len(results)
+    return ExperimentResult(
+        protocol=first.protocol,
+        n=first.n,
+        byzantine=first.byzantine,
+        broadcasts=round(sum(r.broadcasts for r in results) / len(results)),
+        delivery_ratio=sum(r.delivery_ratio
+                           for r in results) / len(results),
+        complete_fraction=sum(r.complete_fraction
+                              for r in results) / len(results),
+        mean_latency=avg([r.mean_latency for r in results]),
+        max_latency=avg([r.max_latency for r in results]),
+        mean_completion_latency=avg(
+            [r.mean_completion_latency for r in results]),
+        physical=physical,
+        energy=energy,
+        overlay_quality=first.overlay_quality,
+        sim_time=sum(r.sim_time for r in results) / len(results),
+    )

@@ -1,0 +1,5 @@
+"""Structured event tracing for simulations."""
+
+from .recorder import TraceEvent, TraceRecorder
+
+__all__ = ["TraceEvent", "TraceRecorder"]

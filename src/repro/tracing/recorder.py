@@ -1,0 +1,160 @@
+"""Structured simulation event tracing.
+
+A :class:`TraceRecorder` subscribes to the observable seams of a running
+simulation — physical-layer events, application accepts, failure-detector
+suspicions, trust changes, overlay status flips — and records them as a
+uniform, queryable, exportable event stream.  Useful for debugging
+protocol behaviour and for building timelines in examples/notebooks
+without instrumenting protocol code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..core.messages import MessageId
+from ..des.kernel import Simulator
+from ..radio.medium import Medium, MediumObserver
+from ..radio.packet import Packet
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence."""
+
+    time: float
+    category: str
+    node: int
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": round(self.time, 6), "category": self.category,
+                "node": self.node, **self.details}
+
+
+class _MediumTap(MediumObserver):
+    def __init__(self, recorder: "TraceRecorder"):
+        self._recorder = recorder
+
+    def on_transmit(self, sender: int, packet: Packet) -> None:
+        self._recorder.record("tx", sender, kind=packet.kind,
+                              size=packet.size_bytes)
+
+    def on_deliver(self, receiver: int, packet: Packet) -> None:
+        self._recorder.record("rx", receiver, kind=packet.kind,
+                              sender=packet.sender)
+
+    def on_collision(self, receiver: int, packet: Packet) -> None:
+        self._recorder.record("collision", receiver, kind=packet.kind,
+                              sender=packet.sender)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects from a live simulation."""
+
+    #: Categories recorded when no filter is supplied.
+    ALL_CATEGORIES = ("tx", "rx", "collision", "accept", "suspect",
+                      "trust", "overlay")
+
+    def __init__(self, sim: Simulator,
+                 categories: Optional[Iterable[str]] = None,
+                 capacity: Optional[int] = None):
+        self._sim = sim
+        self._categories = (set(categories) if categories is not None
+                            else set(self.ALL_CATEGORIES))
+        unknown = self._categories - set(self.ALL_CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown trace categories: {sorted(unknown)}")
+        self._capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_medium(self, medium: Medium) -> "TraceRecorder":
+        medium.add_observer(_MediumTap(self))
+        return self
+
+    def attach_node(self, node) -> "TraceRecorder":
+        """Hook a :class:`repro.core.NetworkNode`'s observable seams."""
+        node.add_accept_listener(
+            lambda receiver, orig, payload, mid:
+            self.record("accept", receiver, originator=orig,
+                        seq=mid.seq))
+        node.mute.add_listener(
+            lambda target, reason:
+            self.record("suspect", node.node_id, target=target,
+                        detector="mute"))
+        node.verbose.add_listener(
+            lambda target, reason:
+            self.record("suspect", node.node_id, target=target,
+                        detector="verbose"))
+        node.trust.add_listener(
+            lambda target, level:
+            self.record("trust", node.node_id, target=target,
+                        level=level.name))
+        node.overlay.add_status_listener(
+            lambda node_id, status:
+            self.record("overlay", node_id, status=status.value))
+        return self
+
+    def attach_network(self, medium: Medium, nodes) -> "TraceRecorder":
+        self.attach_medium(medium)
+        for node in nodes:
+            self.attach_node(node)
+        return self
+
+    # ------------------------------------------------------------------
+    # Recording and querying
+    # ------------------------------------------------------------------
+    def record(self, category: str, node: int, **details: Any) -> None:
+        if category not in self._categories:
+            return
+        if self._capacity is not None and len(self.events) >= self._capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time=self._sim.now, category=category,
+                                      node=node, details=details))
+
+    def select(self, category: Optional[str] = None,
+               node: Optional[int] = None,
+               since: float = float("-inf"),
+               until: float = float("inf")) -> List[TraceEvent]:
+        return [event for event in self.events
+                if (category is None or event.category == category)
+                and (node is None or event.node == node)
+                and since <= event.time <= until]
+
+    def counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.category] = totals.get(event.category, 0) + 1
+        return totals
+
+    def first(self, category: str, **match: Any) -> Optional[TraceEvent]:
+        """The earliest event of ``category`` whose details match."""
+        for event in self.events:
+            if event.category != category:
+                continue
+            if all(event.details.get(k) == v for k, v in match.items()):
+                return event
+        return None
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: str) -> int:
+        """Write events as JSON Lines; returns the event count."""
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event.to_dict()) + "\n")
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0

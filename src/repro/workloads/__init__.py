@@ -1,0 +1,19 @@
+"""Workloads: broadcast schedules and scenario descriptions."""
+
+from .scenarios import AdversaryMix, ScenarioConfig, area_side_for_degree
+from .sources import (
+    BroadcastEvent,
+    periodic_source,
+    poisson_arrivals,
+    single_shot,
+)
+
+__all__ = [
+    "AdversaryMix",
+    "BroadcastEvent",
+    "ScenarioConfig",
+    "area_side_for_degree",
+    "periodic_source",
+    "poisson_arrivals",
+    "single_shot",
+]

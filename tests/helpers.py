@@ -1,0 +1,117 @@
+"""Shared test fixtures and fakes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.core.node import NetworkNode, NodeStackConfig
+from repro.core.protocol import (
+    ByzantineBroadcastProtocol,
+    NodeBehavior,
+    StaticOverlayPort,
+)
+from repro.crypto.keystore import HmacScheme, KeyDirectory
+from repro.des.kernel import Simulator
+from repro.des.random import StreamFactory
+from repro.fd.mute import MuteConfig, MuteFailureDetector
+from repro.fd.trust import TrustFailureDetector
+from repro.fd.verbose import VerboseConfig, VerboseFailureDetector
+from repro.radio.geometry import Position
+from repro.radio.medium import Medium
+from repro.radio.packet import BROADCAST, Packet
+
+
+class FakeTransport:
+    """Records protocol sends instead of touching a medium."""
+
+    def __init__(self) -> None:
+        self.sent: List[Tuple[Any, int, str, int]] = []
+
+    def send(self, payload, size_bytes: int, kind: str = "data",
+             link_dest: int = BROADCAST) -> bool:
+        self.sent.append((payload, size_bytes, kind, link_dest))
+        return True
+
+    def of_kind(self, kind: str) -> List[Any]:
+        return [payload for payload, _, k, _ in self.sent if k == kind]
+
+    def clear(self) -> None:
+        self.sent.clear()
+
+
+class ProtocolHarness:
+    """A single protocol instance over a fake transport and static overlay.
+
+    ``node_id`` runs the real protocol; other identities exist only as
+    signers so the harness can fabricate authentic traffic from peers.
+    """
+
+    def __init__(self, node_id: int = 1, peers=(2, 3, 4, 5),
+                 overlay_members=(2, 3), node_in_overlay: bool = False,
+                 config: Optional[ProtocolConfig] = None,
+                 neighbors: Optional[List[int]] = None):
+        self.sim = Simulator()
+        self.directory = KeyDirectory(HmacScheme(seed=b"test"))
+        self.signers = {i: self.directory.issue(i)
+                        for i in (node_id, *peers)}
+        self.transport = FakeTransport()
+        self.mute = MuteFailureDetector(self.sim, MuteConfig())
+        self.verbose = VerboseFailureDetector(self.sim, VerboseConfig())
+        self.trust = TrustFailureDetector(self.sim, self.mute, self.verbose)
+        members = set(overlay_members)
+        if node_in_overlay:
+            members.add(node_id)
+        self.neighbor_list = list(neighbors if neighbors is not None
+                                  else peers)
+        self.overlay = StaticOverlayPort(node_id, members,
+                                         lambda: list(self.neighbor_list))
+        self.accepted: List[Tuple[int, bytes]] = []
+        streams = StreamFactory(7)
+        self.config = config or ProtocolConfig()
+        self.protocol = ByzantineBroadcastProtocol(
+            self.sim, node_id, self.transport, self.directory,
+            self.signers[node_id], self.mute, self.verbose, self.trust,
+            self.overlay, lambda: list(self.neighbor_list),
+            streams.stream("proto"), self.config,
+            accept_callback=lambda o, p, m: self.accepted.append((o, p)))
+
+    def deliver(self, payload, sender: int, kind: str = "data",
+                size: int = 100) -> None:
+        """Hand the protocol a packet as if received over the air."""
+        packet = Packet(sender=sender, payload=payload, size_bytes=size,
+                        kind=kind)
+        self.protocol.handle_packet(packet)
+
+    def run(self, seconds: float) -> None:
+        self.sim.run(until=self.sim.now + seconds)
+
+
+def build_network(positions: List[Tuple[float, float]], tx_range: float,
+                  seed: int = 1, stack: Optional[NodeStackConfig] = None,
+                  behaviors: Optional[Dict[int, NodeBehavior]] = None,
+                  force_overlay: Optional[Dict[int, bool]] = None):
+    """A real multi-node network on a unit-disk medium.
+
+    Returns (sim, medium, nodes, directory).
+    """
+    sim = Simulator()
+    streams = StreamFactory(seed)
+    medium = Medium(sim, streams.stream("medium"))
+    directory = KeyDirectory(HmacScheme(seed=str(seed).encode()))
+    behaviors = behaviors or {}
+    force_overlay = force_overlay or {}
+    nodes = []
+    for node_id, (x, y) in enumerate(positions):
+        node = NetworkNode(sim, medium, node_id, Position(x, y), tx_range,
+                           streams, directory, stack,
+                           behavior=behaviors.get(node_id),
+                           force_overlay=force_overlay.get(node_id))
+        nodes.append(node)
+    for node in nodes:
+        node.start()
+    return sim, medium, nodes, directory
+
+
+def line_coords(count: int, spacing: float) -> List[Tuple[float, float]]:
+    return [(i * spacing, 0.0) for i in range(count)]

@@ -1,0 +1,107 @@
+"""Tests for the closed-form §3.5 analysis calculators."""
+
+import pytest
+
+from repro.analysis.bounds import AnalysisModel, transmission_time
+from repro.core.config import ProtocolConfig
+
+
+def model(n=10, **kwargs):
+    return AnalysisModel(config=ProtocolConfig(), n=n, **kwargs)
+
+
+class TestTransmissionTime:
+    def test_basic(self):
+        # 1250 bytes at 1 Mb/s = 10 ms + preamble
+        assert transmission_time(1250, 1e6, preamble_s=0.0) \
+            == pytest.approx(0.01)
+
+    def test_preamble_added(self):
+        assert transmission_time(1250, 1e6, preamble_s=0.001) \
+            == pytest.approx(0.011)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            transmission_time(0, 1e6)
+        with pytest.raises(ValueError):
+            transmission_time(100, 0)
+
+
+class TestMaxTimeout:
+    def test_composition(self):
+        config = ProtocolConfig()
+        m = AnalysisModel(config=config, n=10, beta=0.005)
+        expected = (config.gossip_period + config.request_timeout
+                    + config.rebroadcast_timeout + 3 * 0.005)
+        assert m.max_timeout == pytest.approx(expected)
+
+    def test_matches_config_helper(self):
+        config = ProtocolConfig()
+        m = AnalysisModel(config=config, n=10, beta=0.01)
+        assert m.max_timeout == pytest.approx(config.max_timeout(0.01))
+
+
+class TestBounds:
+    def test_mobile_bound_scales_linearly(self):
+        assert model(n=21).dissemination_bound_mobile == pytest.approx(
+            2 * model(n=11).dissemination_bound_mobile)
+
+    def test_static_bound_half_of_chain(self):
+        m = model(n=10)
+        assert m.dissemination_bound_static == pytest.approx(
+            m.max_timeout * 5)
+
+    def test_mute_interval_exceeds_dissemination(self):
+        # Observation 3.3 is exactly the Theorem 3.4 horizon.
+        m = model(n=10)
+        assert m.min_mute_interval == pytest.approx(
+            m.dissemination_bound_mobile)
+
+    def test_buffer_bounds(self):
+        m = model(n=10, delta=2.0)
+        assert m.buffer_bound_static == pytest.approx(2 * m.max_timeout)
+        assert m.buffer_bound_mobile == pytest.approx(
+            2 * m.dissemination_bound_mobile)
+
+    def test_recommended_purge_exceeds_horizon(self):
+        m = model(n=10)
+        assert m.recommended_purge_timeout(mobile=True) \
+            > m.dissemination_bound_mobile
+        assert m.recommended_purge_timeout(mobile=False) \
+            > m.dissemination_bound_static
+
+    def test_summary_keys(self):
+        summary = model().summary()
+        assert set(summary) == {
+            "max_timeout_s", "dissemination_bound_mobile_s",
+            "dissemination_bound_static_s", "min_mute_interval_s",
+            "buffer_bound_static_msgs", "buffer_bound_mobile_msgs"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            model(n=1)
+        with pytest.raises(ValueError):
+            model(beta=0.0)
+        with pytest.raises(ValueError):
+            model(delta=0.0)
+
+
+class TestAgainstSimulation:
+    def test_measured_dissemination_within_prediction(self):
+        """The measured worst completion obeys the model's mobile bound."""
+        from tests.helpers import build_network, line_coords
+        from repro.metrics.collector import MetricsCollector
+        n = 8
+        sim, medium, nodes, _ = build_network(line_coords(n, 80.0), 100.0)
+        collector = MetricsCollector({node.node_id for node in nodes})
+        listener = collector.listener(sim)
+        for node in nodes:
+            node.add_accept_listener(listener)
+        sim.run(until=10.0)
+        msg_id = nodes[0].broadcast(b"bound check")
+        collector.on_broadcast(msg_id, sim.now)
+        sim.run(until=sim.now + 60.0)
+        m = AnalysisModel(config=nodes[0].protocol.config, n=n)
+        record = collector.records[0]
+        assert record.complete
+        assert record.completion_latency <= m.dissemination_bound_mobile

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.n == 30
+        assert args.protocol == "byzcast"
+
+    def test_invalid_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "pigeon"])
+
+
+class TestExperimentsCommand:
+    def test_lists_all_experiments(self):
+        code, output = run_cli(["experiments"])
+        assert code == 0
+        for eid in ("E1", "E10", "A5"):
+            assert eid in output
+        assert "benchmarks/" in output
+
+
+class TestRunCommand:
+    def test_small_run_reports(self):
+        code, output = run_cli([
+            "run", "--n", "10", "--messages", "2", "--seed", "3",
+            "--warmup", "5", "--drain", "8", "--interval", "1.0"])
+        assert code == 0
+        assert "delivery" in output
+        assert "bytes/broadcast" in output
+        assert "overlay:" in output
+        assert "gossip" in output
+
+    def test_run_with_mute_nodes(self):
+        code, output = run_cli([
+            "run", "--n", "12", "--mute", "2", "--messages", "2",
+            "--seed", "3", "--warmup", "5", "--drain", "10",
+            "--interval", "1.0"])
+        assert code == 0
+        assert "byz" in output
+
+    def test_flooding_run(self):
+        code, output = run_cli([
+            "run", "--protocol", "flooding", "--n", "10", "--messages", "2",
+            "--seed", "3", "--warmup", "2", "--drain", "5",
+            "--interval", "1.0"])
+        assert code == 0
+        assert "flooding" in output
+
+
+class TestSweepCommand:
+    def test_sweep_n(self):
+        code, output = run_cli([
+            "sweep", "--param", "n", "--values", "8,12", "--seeds", "1",
+            "--messages", "2", "--warmup", "5", "--drain", "8",
+            "--interval", "1.0"])
+        assert code == 0
+        lines = [line for line in output.splitlines() if line.strip()]
+        assert len(lines) >= 4  # header + separator + 2 rows
+
+    def test_sweep_mute(self):
+        code, output = run_cli([
+            "sweep", "--param", "mute", "--values", "0,2", "--seeds", "1",
+            "--n", "12", "--messages", "2", "--warmup", "5",
+            "--drain", "10", "--interval", "1.0"])
+        assert code == 0
+        assert "mute" in output
+
+
+class TestCompareCommand:
+    def test_compare_all_protocols(self):
+        code, output = run_cli([
+            "compare", "--n", "10", "--messages", "2", "--seed", "3",
+            "--warmup", "5", "--drain", "8", "--interval", "1.0"])
+        assert code == 0
+        for protocol in ("byzcast", "flooding", "overlay_only",
+                         "multi_overlay"):
+            assert protocol in output

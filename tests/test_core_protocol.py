@@ -1,0 +1,445 @@
+"""Unit tests for the protocol engine against the pseudo-code (Figs 3-4).
+
+A single real protocol instance runs over a fake transport; peers exist as
+signing identities whose traffic the tests fabricate.
+"""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.messages import (
+    DATA,
+    FIND_MISSING_MSG,
+    GOSSIP,
+    REQUEST_MSG,
+    DataMessage,
+    FindMissingMessage,
+    GossipMessage,
+    GossipPacket,
+    MessageId,
+    RequestMessage,
+)
+from repro.fd.trust import TrustLevel
+
+from tests.helpers import ProtocolHarness
+
+
+def data_from(harness, peer, seq=1, payload=b"payload", ttl=1):
+    return DataMessage.create(harness.signers[peer], seq, payload, ttl=ttl)
+
+
+def gossip_from(harness, peer, seq=1):
+    return GossipMessage.create(harness.signers[peer], seq)
+
+
+def gossip_packet(*entries):
+    return GossipPacket(entries=tuple(entries))
+
+
+class TestBroadcast:
+    def test_broadcast_sends_signed_data(self):
+        h = ProtocolHarness()
+        msg_id = h.protocol.broadcast(b"hello")
+        assert msg_id == MessageId(1, 1)
+        sent = h.transport.of_kind(DATA)
+        assert len(sent) == 1
+        assert sent[0].verify(h.directory)
+        assert sent[0].payload == b"hello"
+
+    def test_broadcast_piggybacks_gossip_by_default(self):
+        h = ProtocolHarness()
+        h.protocol.broadcast(b"hello")
+        sent = h.transport.of_kind(DATA)[0]
+        assert sent.gossip is not None
+        assert sent.gossip.verify(h.directory)
+
+    def test_broadcast_without_piggyback_sends_gossip_packet(self):
+        h = ProtocolHarness(config=ProtocolConfig(piggyback_gossip=False))
+        h.protocol.broadcast(b"hello")
+        assert h.transport.of_kind(DATA)[0].gossip is None
+        packets = h.transport.of_kind(GOSSIP)
+        assert len(packets) == 1
+        assert packets[0].entries[0].msg_id == MessageId(1, 1)
+
+    def test_sequence_numbers_increment(self):
+        h = ProtocolHarness()
+        assert h.protocol.broadcast(b"a").seq == 1
+        assert h.protocol.broadcast(b"b").seq == 2
+
+    def test_own_message_not_delivered_to_self(self):
+        h = ProtocolHarness()
+        h.protocol.broadcast(b"hello")
+        assert h.accepted == []
+
+    def test_originator_gossips_periodically(self):
+        h = ProtocolHarness()
+        h.protocol.start()
+        h.protocol.broadcast(b"hello")
+        h.run(2.0)
+        assert len(h.transport.of_kind(GOSSIP)) >= 1
+
+
+class TestDataReception:
+    def test_valid_message_accepted(self):
+        h = ProtocolHarness()
+        message = data_from(h, peer=2)
+        h.deliver(message, sender=2)
+        assert h.accepted == [(2, b"payload")]
+
+    def test_duplicate_ignored(self):
+        h = ProtocolHarness()
+        message = data_from(h, peer=2)
+        h.deliver(message, sender=2)
+        h.deliver(message, sender=3)
+        assert len(h.accepted) == 1
+        assert h.protocol.stats.duplicates_ignored == 1
+
+    def test_bad_signature_suspected(self):
+        h = ProtocolHarness()
+        message = data_from(h, peer=2)
+        forged = DataMessage(msg_id=message.msg_id, payload=b"EVIL",
+                             signature=message.signature)
+        h.deliver(forged, sender=4)
+        assert h.accepted == []
+        assert h.trust.level(4) is TrustLevel.UNTRUSTED
+        assert h.protocol.stats.bad_signatures == 1
+
+    def test_non_overlay_node_does_not_forward(self):
+        h = ProtocolHarness(node_in_overlay=False)
+        h.deliver(data_from(h, peer=2), sender=2)
+        assert h.transport.of_kind(DATA) == []
+
+    def test_overlay_node_forwards_with_ttl1(self):
+        h = ProtocolHarness(node_in_overlay=True)
+        h.deliver(data_from(h, peer=2), sender=2)
+        forwarded = h.transport.of_kind(DATA)
+        assert len(forwarded) == 1
+        assert forwarded[0].ttl == 1
+
+    def test_non_overlay_relays_ttl2_once(self):
+        h = ProtocolHarness(node_in_overlay=False)
+        h.deliver(data_from(h, peer=2, ttl=2), sender=4)
+        relayed = h.transport.of_kind(DATA)
+        assert len(relayed) == 1
+        assert relayed[0].ttl == 1
+
+    def test_mute_expectation_on_non_overlay_delivery(self):
+        # Line 10: got m from a non-overlay, non-originator node → expect
+        # the overlay to also deliver it.
+        h = ProtocolHarness()
+        h.deliver(data_from(h, peer=5), sender=4)  # 4 is not 5, not overlay
+        assert h.mute.stats.expectations == 1
+        h.run(5.0)  # nobody forwards → overlay neighbors struck
+        assert h.mute.suspicion_count(2) + h.mute.suspicion_count(3) >= 1
+
+    def test_no_expectation_when_sender_is_originator(self):
+        h = ProtocolHarness()
+        h.deliver(data_from(h, peer=4), sender=4)
+        assert h.mute.stats.expectations == 0
+
+    def test_no_expectation_when_sender_in_overlay(self):
+        h = ProtocolHarness()
+        h.deliver(data_from(h, peer=5), sender=2)  # 2 is overlay member
+        assert h.mute.stats.expectations == 0
+
+    def test_overlay_forward_fulfills_expectation(self):
+        h = ProtocolHarness()
+        message = data_from(h, peer=5)
+        h.deliver(message, sender=4)      # expectation armed on {2, 3}
+        h.deliver(message, sender=2)      # overlay neighbor does forward
+        h.run(5.0)
+        assert h.mute.suspicion_count(2) == 0
+        assert h.mute.suspicion_count(3) == 0
+
+    def test_piggybacked_gossip_absorbed(self):
+        h = ProtocolHarness()
+        message = data_from(h, peer=2).with_gossip(gossip_from(h, 2))
+        h.deliver(message, sender=2)
+        assert h.protocol.store.has_gossip(message.msg_id)
+        assert h.protocol.store.is_gossiping(message.msg_id)
+
+    def test_mismatched_piggyback_suspected(self):
+        h = ProtocolHarness()
+        message = data_from(h, peer=2, seq=1).with_gossip(
+            gossip_from(h, 2, seq=9))
+        h.deliver(message, sender=2)
+        assert h.trust.level(2) is TrustLevel.UNTRUSTED
+
+
+class TestGossipAndRecovery:
+    def test_gossip_about_held_message_starts_gossiping(self):
+        h = ProtocolHarness()
+        message = data_from(h, peer=2)
+        h.deliver(message, sender=2)
+        h.deliver(gossip_packet(gossip_from(h, 2)), sender=3, kind=GOSSIP)
+        assert h.protocol.store.is_gossiping(message.msg_id)
+
+    def test_gossip_about_missing_message_triggers_request(self):
+        h = ProtocolHarness()
+        h.deliver(gossip_packet(gossip_from(h, 2)), sender=3, kind=GOSSIP)
+        assert h.transport.of_kind(REQUEST_MSG) == []  # delayed
+        h.run(1.0)
+        requests = h.transport.of_kind(REQUEST_MSG)
+        assert len(requests) == 1
+        assert requests[0].target == 3
+        assert requests[0].requester == 1
+        assert requests[0].verify(h.directory)
+
+    def test_request_sent_even_when_gossiper_is_originator(self):
+        # The paper's Theorem 3.2 proof requires that any holder serve on
+        # request; the default config therefore requests from originators
+        # too (see ProtocolConfig.request_from_originator).
+        h = ProtocolHarness()
+        h.deliver(gossip_packet(gossip_from(h, 2)), sender=2, kind=GOSSIP)
+        h.run(1.0)
+        assert len(h.transport.of_kind(REQUEST_MSG)) == 1
+        assert h.mute.stats.expectations == 1
+
+    def test_literal_line29_skips_originator_request(self):
+        h = ProtocolHarness(config=ProtocolConfig(
+            request_from_originator=False))
+        h.deliver(gossip_packet(gossip_from(h, 2)), sender=2, kind=GOSSIP)
+        h.run(1.0)
+        assert h.transport.of_kind(REQUEST_MSG) == []
+        assert h.mute.stats.expectations == 1
+
+    def test_request_cancelled_if_message_arrives_meanwhile(self):
+        h = ProtocolHarness()
+        h.deliver(gossip_packet(gossip_from(h, 2)), sender=3, kind=GOSSIP)
+        h.deliver(data_from(h, peer=2), sender=2)  # arrives before timer
+        h.run(1.0)
+        assert h.transport.of_kind(REQUEST_MSG) == []
+
+    def test_requests_paced_per_message(self):
+        h = ProtocolHarness()
+        entry = gossip_from(h, 2)
+        h.deliver(gossip_packet(entry), sender=3, kind=GOSSIP)
+        h.deliver(gossip_packet(entry), sender=4, kind=GOSSIP)
+        h.run(1.0)
+        assert len(h.transport.of_kind(REQUEST_MSG)) == 1
+
+    def test_bad_gossip_signature_suspected(self):
+        h = ProtocolHarness()
+        bogus = GossipMessage(msg_id=MessageId(2, 1), signature=b"junk")
+        h.deliver(gossip_packet(bogus), sender=3, kind=GOSSIP)
+        assert h.trust.level(3) is TrustLevel.UNTRUSTED
+
+    def test_mute_expectation_on_gossiper(self):
+        h = ProtocolHarness()
+        h.deliver(gossip_packet(gossip_from(h, 2)), sender=3, kind=GOSSIP)
+        assert h.mute.stats.expectations == 1
+        h.run(5.0)  # gossiper never supplies the message
+        assert h.mute.suspicion_count(3) >= 1
+
+
+class TestRequestHandling:
+    def make_holder(self, node_in_overlay):
+        h = ProtocolHarness(node_in_overlay=node_in_overlay)
+        message = data_from(h, peer=2)
+        h.deliver(message, sender=2)
+        h.transport.clear()
+        return h, message
+
+    def test_target_serves_request(self):
+        h, message = self.make_holder(node_in_overlay=False)
+        request = RequestMessage.create(
+            h.signers[4], gossip_from(h, 2), target=1)
+        h.deliver(request, sender=4, kind=REQUEST_MSG)
+        h.run(1.0)
+        served = h.transport.of_kind(DATA)
+        assert len(served) == 1
+        assert served[0].msg_id == message.msg_id
+        assert h.protocol.stats.requests_served == 1
+
+    def test_overlay_node_serves_request_not_addressed_to_it(self):
+        h, message = self.make_holder(node_in_overlay=True)
+        request = RequestMessage.create(
+            h.signers[4], gossip_from(h, 2), target=5)
+        h.deliver(request, sender=4, kind=REQUEST_MSG)
+        h.run(1.0)
+        assert len(h.transport.of_kind(DATA)) == 1
+
+    def test_bystander_ignores_request(self):
+        h, message = self.make_holder(node_in_overlay=False)
+        request = RequestMessage.create(
+            h.signers[4], gossip_from(h, 2), target=5)
+        h.deliver(request, sender=4, kind=REQUEST_MSG)
+        h.run(1.0)
+        assert h.transport.of_kind(DATA) == []
+
+    def test_first_requests_not_indicted(self):
+        # A few retries are the normal collision-recovery pattern.
+        h, _ = self.make_holder(node_in_overlay=True)
+        entry = gossip_from(h, 2)
+        for _ in range(h.config.request_indict_threshold):
+            h.deliver(RequestMessage.create(h.signers[4], entry, target=1),
+                      sender=4, kind=REQUEST_MSG)
+        assert h.verbose.suspicion_count(4) == 0
+
+    def test_repeated_requests_indicted(self):
+        h, _ = self.make_holder(node_in_overlay=True)
+        entry = gossip_from(h, 2)
+        for _ in range(h.config.request_indict_threshold + 2):
+            h.deliver(RequestMessage.create(h.signers[4], entry, target=1),
+                      sender=4, kind=REQUEST_MSG)
+        assert h.verbose.suspicion_count(4) == 2
+
+    def test_flooding_requester_eventually_ignored(self):
+        h, _ = self.make_holder(node_in_overlay=True)
+        entry = gossip_from(h, 2)
+        flood = (h.config.request_indict_threshold
+                 + h.verbose.config.suspicion_threshold + 3)
+        for _ in range(flood):
+            h.deliver(RequestMessage.create(h.signers[4], entry, target=1),
+                      sender=4, kind=REQUEST_MSG)
+        assert h.verbose.suspected(4)
+        # Counting stops growing once the node stops reacting.
+        assert h.verbose.suspicion_count(4) == \
+            h.verbose.config.suspicion_threshold
+
+    def test_overlay_node_without_message_initiates_find(self):
+        h = ProtocolHarness(node_in_overlay=True)
+        request = RequestMessage.create(
+            h.signers[4], gossip_from(h, 2), target=5)
+        h.deliver(request, sender=4, kind=REQUEST_MSG)
+        finds = h.transport.of_kind(FIND_MISSING_MSG)
+        assert len(finds) == 1
+        assert finds[0].ttl == 2
+        assert finds[0].claimed_holder == 5
+        assert finds[0].verify(h.directory)
+
+    def test_non_overlay_without_message_does_not_find(self):
+        h = ProtocolHarness(node_in_overlay=False)
+        request = RequestMessage.create(
+            h.signers[4], gossip_from(h, 2), target=1)
+        h.deliver(request, sender=4, kind=REQUEST_MSG)
+        assert h.transport.of_kind(FIND_MISSING_MSG) == []
+
+    def test_originator_requesting_own_message_indicted(self):
+        h = ProtocolHarness(node_in_overlay=True)
+        request = RequestMessage.create(
+            h.signers[2], gossip_from(h, 2), target=1)
+        h.deliver(request, sender=2, kind=REQUEST_MSG)
+        assert h.verbose.suspicion_count(2) == 1
+        assert h.transport.of_kind(FIND_MISSING_MSG) == []
+
+    def test_relayed_request_rejected(self):
+        # requester field ≠ link sender → protocol violation.
+        h, _ = self.make_holder(node_in_overlay=True)
+        request = RequestMessage.create(
+            h.signers[4], gossip_from(h, 2), target=1)
+        h.deliver(request, sender=5, kind=REQUEST_MSG)
+        h.run(1.0)
+        assert h.transport.of_kind(DATA) == []
+        assert h.trust.level(5) is TrustLevel.UNTRUSTED
+
+
+class TestFindHandling:
+    def test_missing_message_forwarded_once(self):
+        h = ProtocolHarness()
+        find = FindMissingMessage.create(
+            h.signers[2], gossip_from(h, 3), claimed_holder=4, ttl=2)
+        h.deliver(find, sender=2, kind=FIND_MISSING_MSG)
+        h.deliver(find, sender=5, kind=FIND_MISSING_MSG)  # second copy
+        forwarded = h.transport.of_kind(FIND_MISSING_MSG)
+        assert len(forwarded) == 1
+        assert forwarded[0].ttl == 1
+
+    def test_ttl1_find_not_forwarded(self):
+        h = ProtocolHarness()
+        find = FindMissingMessage.create(
+            h.signers[2], gossip_from(h, 3), claimed_holder=4, ttl=1)
+        h.deliver(find, sender=2, kind=FIND_MISSING_MSG)
+        assert h.transport.of_kind(FIND_MISSING_MSG) == []
+
+    def test_claimed_holder_serves_neighbor_with_ttl1(self):
+        h = ProtocolHarness(node_in_overlay=False)
+        message = data_from(h, peer=2)
+        h.deliver(message, sender=2)
+        h.transport.clear()
+        find = FindMissingMessage.create(
+            h.signers[3], gossip_from(h, 2), claimed_holder=1, ttl=2)
+        h.deliver(find, sender=3, kind=FIND_MISSING_MSG)  # 3 is neighbor
+        h.run(1.0)
+        served = h.transport.of_kind(DATA)
+        assert len(served) == 1
+        assert served[0].ttl == 1
+
+    def test_serves_distant_initiator_with_ttl2(self):
+        h = ProtocolHarness(node_in_overlay=True, neighbors=[2, 3])
+        message = data_from(h, peer=2)
+        h.deliver(message, sender=2)
+        h.transport.clear()
+        find = FindMissingMessage.create(
+            h.signers[5], gossip_from(h, 2), claimed_holder=4, ttl=1)
+        h.deliver(find, sender=5, kind=FIND_MISSING_MSG)  # 5 not a neighbor
+        h.run(1.0)
+        served = h.transport.of_kind(DATA)
+        assert len(served) == 1
+        assert served[0].ttl == 2
+
+    def test_overlay_node_indicts_neighbor_after_repeated_finds(self):
+        h = ProtocolHarness(node_in_overlay=True)
+        h.deliver(data_from(h, peer=2), sender=2)
+        h.transport.clear()
+        find = FindMissingMessage.create(
+            h.signers[3], gossip_from(h, 2), claimed_holder=1, ttl=2)
+        threshold = h.config.request_indict_threshold
+        for _ in range(threshold):
+            h.deliver(find, sender=3, kind=FIND_MISSING_MSG)
+        assert h.verbose.suspicion_count(3) == 0  # retries tolerated
+        h.deliver(find, sender=3, kind=FIND_MISSING_MSG)
+        assert h.verbose.suspicion_count(3) == 1
+
+    def test_bystander_does_not_serve(self):
+        h = ProtocolHarness(node_in_overlay=False)
+        h.deliver(data_from(h, peer=2), sender=2)
+        h.transport.clear()
+        find = FindMissingMessage.create(
+            h.signers[3], gossip_from(h, 2), claimed_holder=4, ttl=2)
+        h.deliver(find, sender=3, kind=FIND_MISSING_MSG)
+        h.run(1.0)
+        assert h.transport.of_kind(DATA) == []
+
+
+class TestPurging:
+    def test_messages_purged_after_timeout(self):
+        h = ProtocolHarness(config=ProtocolConfig(purge_timeout=5.0,
+                                                  purge_period=1.0))
+        h.protocol.start()
+        message = data_from(h, peer=2)
+        h.deliver(message, sender=2)
+        h.run(10.0)
+        assert h.protocol.store.message(message.msg_id) is None
+        assert h.protocol.stats.messages_purged == 1
+        # Validity: even after purge, the duplicate is still ignored.
+        h.deliver(message, sender=3)
+        assert len(h.accepted) == 1
+
+
+class TestGossipAggregation:
+    def test_entries_batched_into_one_packet(self):
+        h = ProtocolHarness()
+        h.protocol.start()
+        for seq in (1, 2, 3):
+            message = data_from(h, peer=2, seq=seq).with_gossip(
+                gossip_from(h, 2, seq=seq))
+            h.deliver(message, sender=2)
+        h.transport.clear()
+        h.run(1.5)
+        packets = h.transport.of_kind(GOSSIP)
+        assert packets, "expected a gossip round"
+        assert {e.msg_id.seq for e in packets[0].entries} == {1, 2, 3}
+
+    def test_aggregation_limit_respected(self):
+        h = ProtocolHarness(config=ProtocolConfig(gossip_aggregation_limit=2))
+        h.protocol.start()
+        for seq in (1, 2, 3, 4, 5):
+            message = data_from(h, peer=2, seq=seq).with_gossip(
+                gossip_from(h, 2, seq=seq))
+            h.deliver(message, sender=2)
+        h.transport.clear()
+        h.run(1.5)
+        packets = h.transport.of_kind(GOSSIP)
+        assert packets
+        assert all(len(p.entries) <= 2 for p in packets)

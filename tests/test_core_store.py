@@ -1,0 +1,159 @@
+"""Unit tests for the message store."""
+
+from repro.core.messages import DataMessage, GossipMessage, MessageId
+from repro.core.store import MessageStore
+from repro.crypto.keystore import HmacScheme, KeyDirectory
+
+
+def make():
+    directory = KeyDirectory(HmacScheme(seed=b"store"))
+    signer = directory.issue(1)
+    return MessageStore(), signer
+
+
+def data(signer, seq):
+    return DataMessage.create(signer, seq, b"payload")
+
+
+def gossip(signer, seq):
+    return GossipMessage.create(signer, seq)
+
+
+class TestMessages:
+    def test_add_and_get(self):
+        store, signer = make()
+        message = data(signer, 1)
+        store.add_message(message, now=0.0)
+        assert store.has_message(message.msg_id)
+        assert store.message(message.msg_id) == message
+
+    def test_missing_message(self):
+        store, _ = make()
+        assert not store.has_message(MessageId(1, 1))
+        assert store.message(MessageId(1, 1)) is None
+
+    def test_accept_once(self):
+        store, signer = make()
+        msg_id = MessageId(1, 1)
+        assert store.mark_accepted(msg_id)
+        assert not store.mark_accepted(msg_id)
+        assert store.was_accepted(msg_id)
+        assert store.accepted_count == 1
+
+    def test_buffered_count(self):
+        store, signer = make()
+        for seq in range(3):
+            store.add_message(data(signer, seq), now=0.0)
+        assert store.buffered_count == 3
+
+
+class TestGossip:
+    def test_add_and_get(self):
+        store, signer = make()
+        entry = gossip(signer, 1)
+        store.add_gossip(entry)
+        assert store.has_gossip(entry.msg_id)
+        assert store.gossip(entry.msg_id) == entry
+
+    def test_first_gossip_wins(self):
+        store, signer = make()
+        first = gossip(signer, 1)
+        store.add_gossip(first)
+        duplicate = GossipMessage(msg_id=first.msg_id, signature=b"other")
+        store.add_gossip(duplicate)
+        assert store.gossip(first.msg_id) == first
+
+    def test_start_gossiping_requires_both(self):
+        store, signer = make()
+        message = data(signer, 1)
+        entry = gossip(signer, 1)
+        assert not store.start_gossiping(message.msg_id, 0.0)  # nothing yet
+        store.add_gossip(entry)
+        assert not store.start_gossiping(message.msg_id, 0.0)  # no message
+        store.add_message(message, 0.0)
+        assert store.start_gossiping(message.msg_id, 0.0)
+        assert store.is_gossiping(message.msg_id)
+        assert not store.start_gossiping(message.msg_id, 0.0)  # idempotent
+
+    def test_batch_returns_active_entries(self):
+        store, signer = make()
+        for seq in range(3):
+            store.add_message(data(signer, seq), 0.0)
+            store.add_gossip(gossip(signer, seq))
+            store.start_gossiping(MessageId(1, seq), 0.0)
+        batch = store.gossip_batch(10)
+        assert {g.msg_id.seq for g in batch} == {0, 1, 2}
+
+    def test_batch_rotates_under_limit(self):
+        store, signer = make()
+        for seq in range(5):
+            store.add_message(data(signer, seq), 0.0)
+            store.add_gossip(gossip(signer, seq))
+            store.start_gossiping(MessageId(1, seq), 0.0)
+        seen = set()
+        for _ in range(5):
+            for entry in store.gossip_batch(2):
+                seen.add(entry.msg_id.seq)
+        assert seen == {0, 1, 2, 3, 4}
+
+    def test_batch_advertise_ttl_filters_old(self):
+        store, signer = make()
+        store.add_message(data(signer, 1), 0.0)
+        store.add_gossip(gossip(signer, 1))
+        store.start_gossiping(MessageId(1, 1), 0.0)
+        store.add_message(data(signer, 2), 10.0)
+        store.add_gossip(gossip(signer, 2))
+        store.start_gossiping(MessageId(1, 2), 10.0)
+        batch = store.gossip_batch(10, now=12.0, max_age=6.0)
+        assert {g.msg_id.seq for g in batch} == {2}
+
+    def test_batch_empty(self):
+        store, _ = make()
+        assert store.gossip_batch(10) == []
+
+
+class TestRequestPacing:
+    def test_first_request_allowed(self):
+        store, _ = make()
+        assert store.may_request(MessageId(1, 1), now=0.0, min_interval=1.0)
+
+    def test_second_request_paced(self):
+        store, _ = make()
+        msg_id = MessageId(1, 1)
+        store.note_request(msg_id, now=0.0)
+        assert not store.may_request(msg_id, now=0.5, min_interval=1.0)
+        assert store.may_request(msg_id, now=1.0, min_interval=1.0)
+
+
+class TestPurge:
+    def test_old_messages_purged(self):
+        store, signer = make()
+        old = data(signer, 1)
+        fresh = data(signer, 2)
+        store.add_message(old, now=0.0)
+        store.add_message(fresh, now=20.0)
+        purged = store.purge(now=30.0, timeout=15.0)
+        assert purged == [old.msg_id]
+        assert not store.message(old.msg_id)
+        assert store.message(fresh.msg_id)
+
+    def test_purge_clears_gossip_state(self):
+        store, signer = make()
+        store.add_message(data(signer, 1), 0.0)
+        store.add_gossip(gossip(signer, 1))
+        store.start_gossiping(MessageId(1, 1), 0.0)
+        store.purge(now=100.0, timeout=10.0)
+        assert not store.has_gossip(MessageId(1, 1))
+        assert not store.is_gossiping(MessageId(1, 1))
+        assert store.gossip_batch(10) == []
+
+    def test_receipt_history_survives_purge(self):
+        # Duplicates must stay duplicates even after the payload is gone.
+        store, signer = make()
+        message = data(signer, 1)
+        store.add_message(message, 0.0)
+        store.mark_accepted(message.msg_id)
+        store.purge(now=100.0, timeout=10.0)
+        assert store.has_message(message.msg_id)   # history retained
+        assert store.message(message.msg_id) is None  # payload gone
+        assert not store.mark_accepted(message.msg_id)

@@ -1,0 +1,72 @@
+"""Unit tests for digests and canonical encoding."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.digest import digest_int, encode_fields, sha256
+
+
+class TestSha256:
+    def test_matches_hashlib(self):
+        assert sha256(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_length(self):
+        assert len(sha256(b"")) == 32
+
+
+class TestDigestInt:
+    def test_full_width(self):
+        value = digest_int(b"abc", 256)
+        assert value == int.from_bytes(hashlib.sha256(b"abc").digest(), "big")
+
+    def test_truncation_takes_leftmost_bits(self):
+        full = digest_int(b"abc", 256)
+        assert digest_int(b"abc", 160) == full >> 96
+
+    def test_bit_bound(self):
+        for bits in (1, 8, 17, 160):
+            assert digest_int(b"xyz", bits) < (1 << bits)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            digest_int(b"x", 0)
+
+
+class TestEncodeFields:
+    def test_deterministic(self):
+        fields = (1, "a", b"\x00", 2.5, True)
+        assert encode_fields(fields) == encode_fields(fields)
+
+    def test_type_distinction(self):
+        # Same surface value, different type → different encoding.
+        assert encode_fields(("1",)) != encode_fields((1,))
+        assert encode_fields((b"1",)) != encode_fields(("1",))
+        assert encode_fields((1,)) != encode_fields((True,))
+        assert encode_fields((1,)) != encode_fields((1.0,))
+
+    def test_boundary_shifts_detected(self):
+        # Concatenation ambiguity: ("ab","c") must differ from ("a","bc").
+        assert encode_fields(("ab", "c")) != encode_fields(("a", "bc"))
+        assert encode_fields((b"ab", b"c")) != encode_fields((b"a", b"bc"))
+
+    def test_negative_integers(self):
+        assert encode_fields((-1,)) != encode_fields((255,))
+        assert encode_fields((-1,)) != encode_fields((1,))
+
+    def test_large_integers(self):
+        big = 2 ** 200
+        assert encode_fields((big,)) != encode_fields((big + 1,))
+
+    def test_empty_sequence(self):
+        assert encode_fields(()) == b""
+
+    def test_unicode_strings(self):
+        assert encode_fields(("héllo",)) != encode_fields(("hello",))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_fields(([1, 2],))
+
+    def test_field_count_matters(self):
+        assert encode_fields((1, 2)) != encode_fields((1, 2, 2))

@@ -1,0 +1,168 @@
+"""Unit tests for the from-scratch DSA implementation."""
+
+import pytest
+
+from repro.crypto import dsa
+
+# Small parameters keep the suite fast; generated once per module.
+PARAMS = dsa.generate_parameters(p_bits=256, q_bits=160, seed=b"unit-test")
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return dsa.generate_keypair(PARAMS, seed=b"alice")
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 7919):
+            assert dsa.is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 15, 91, 561, 7917):
+            assert not dsa.is_probable_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that Miller-Rabin must catch.
+        for c in (561, 1105, 1729, 2465, 2821, 6601, 41041):
+            assert not dsa.is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        assert dsa.is_probable_prime(2 ** 127 - 1)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not dsa.is_probable_prime((2 ** 127 - 1) * (2 ** 61 - 1))
+
+
+class TestParameters:
+    def test_generated_parameters_validate(self):
+        PARAMS.validate()
+
+    def test_bit_lengths(self):
+        assert PARAMS.p_bits == 256
+        assert PARAMS.q_bits == 160
+
+    def test_q_divides_p_minus_1(self):
+        assert (PARAMS.p - 1) % PARAMS.q == 0
+
+    def test_generator_order(self):
+        assert pow(PARAMS.g, PARAMS.q, PARAMS.p) == 1
+        assert PARAMS.g != 1
+
+    def test_deterministic_generation(self):
+        again = dsa.generate_parameters(p_bits=256, q_bits=160,
+                                        seed=b"unit-test")
+        assert again == PARAMS
+
+    def test_different_seed_different_parameters(self):
+        other = dsa.generate_parameters(p_bits=256, q_bits=160, seed=b"other")
+        assert other != PARAMS
+
+    def test_validate_rejects_broken_parameters(self):
+        broken = dsa.DsaParameters(p=PARAMS.p + 2, q=PARAMS.q, g=PARAMS.g)
+        with pytest.raises(ValueError):
+            broken.validate()
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            dsa.generate_parameters(p_bits=64, q_bits=64)
+        with pytest.raises(ValueError):
+            dsa.generate_parameters(p_bits=128, q_bits=8)
+
+
+class TestSignVerify:
+    def test_roundtrip(self, keypair):
+        private, public = keypair
+        message = b"attack at dawn"
+        signature = dsa.sign(private, message)
+        assert dsa.verify(public, message, signature)
+
+    def test_tampered_message_rejected(self, keypair):
+        private, public = keypair
+        signature = dsa.sign(private, b"attack at dawn")
+        assert not dsa.verify(public, b"attack at dusk", signature)
+
+    def test_tampered_signature_rejected(self, keypair):
+        private, public = keypair
+        message = b"hello"
+        signature = dsa.sign(private, message)
+        forged = dsa.DsaSignature(signature.r, (signature.s + 1) % PARAMS.q)
+        assert not dsa.verify(public, message, forged)
+
+    def test_wrong_key_rejected(self, keypair):
+        private, _ = keypair
+        _, other_public = dsa.generate_keypair(PARAMS, seed=b"bob")
+        message = b"hello"
+        signature = dsa.sign(private, message)
+        assert not dsa.verify(other_public, message, signature)
+
+    def test_out_of_range_signature_rejected(self, keypair):
+        _, public = keypair
+        assert not dsa.verify(public, b"x", dsa.DsaSignature(0, 1))
+        assert not dsa.verify(public, b"x", dsa.DsaSignature(1, 0))
+        assert not dsa.verify(public, b"x",
+                              dsa.DsaSignature(PARAMS.q, PARAMS.q))
+
+    def test_deterministic_nonce_stable_signature(self, keypair):
+        private, _ = keypair
+        assert dsa.sign(private, b"m") == dsa.sign(private, b"m")
+
+    def test_distinct_messages_distinct_nonces(self, keypair):
+        # Identical r across messages would reveal k reuse.
+        private, _ = keypair
+        r_values = {dsa.sign(private, bytes([i])).r for i in range(10)}
+        assert len(r_values) == 10
+
+    def test_empty_message(self, keypair):
+        private, public = keypair
+        signature = dsa.sign(private, b"")
+        assert dsa.verify(public, b"", signature)
+
+    def test_large_message(self, keypair):
+        private, public = keypair
+        message = b"z" * 100_000
+        assert dsa.verify(public, message, dsa.sign(private, message))
+
+
+class TestSignatureEncoding:
+    def test_roundtrip(self, keypair):
+        private, _ = keypair
+        signature = dsa.sign(private, b"m")
+        encoded = signature.to_bytes(PARAMS.q_bits)
+        assert dsa.DsaSignature.from_bytes(encoded) == signature
+
+    def test_fixed_width(self, keypair):
+        private, _ = keypair
+        width = 2 * ((PARAMS.q_bits + 7) // 8)
+        for i in range(5):
+            assert len(dsa.sign(private, bytes([i])).to_bytes(
+                PARAMS.q_bits)) == width
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            dsa.DsaSignature.from_bytes(b"")
+        with pytest.raises(ValueError):
+            dsa.DsaSignature.from_bytes(b"odd")
+
+
+class TestKeygen:
+    def test_public_matches_private(self):
+        private, public = dsa.generate_keypair(PARAMS, seed=b"x")
+        assert private.public_key() == public
+
+    def test_deterministic(self):
+        a = dsa.generate_keypair(PARAMS, seed=b"x")
+        b = dsa.generate_keypair(PARAMS, seed=b"x")
+        assert a == b
+
+    def test_private_in_range(self):
+        private, _ = dsa.generate_keypair(PARAMS, seed=b"x")
+        assert 0 < private.x < PARAMS.q
+
+
+def test_default_parameters_cached_and_valid():
+    a = dsa.default_parameters()
+    b = dsa.default_parameters()
+    assert a is b
+    a.validate()
+    assert a.p_bits == 512

@@ -1,0 +1,167 @@
+"""Unit tests for timers and periodic tasks."""
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.des.random import RandomStream
+from repro.des.timers import PeriodicTask, Timer
+
+
+class TestTimer:
+    def test_fires_after_timeout(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_restart_pushes_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.schedule(1.0, lambda: timer.start(2.0))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, fired.append, )
+        timer.start(2.0, "x")
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.cancel()
+        timer.cancel()
+
+    def test_armed_property(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(1.0)
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
+
+    def test_args_forwarded(self):
+        sim = Simulator()
+        captured = []
+        timer = Timer(sim, lambda a, b: captured.append((a, b)))
+        timer.start(1.0, "a", 2)
+        sim.run()
+        assert captured == [("a", 2)]
+
+    def test_restart_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer = Timer(sim, on_fire)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_start_immediately(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now),
+                            start_immediately=True)
+        task.start()
+        sim.run(until=2.5)
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_stop_halts(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        task.start()
+        sim.run(until=1.5)
+        assert ticks == [1.0]
+
+    def test_jitter_requires_rng(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 1.0, lambda: None, jitter=0.2)
+
+    def test_jitter_bounds(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now),
+                            jitter=0.25, rng=RandomStream(42))
+        task.start()
+        sim.run(until=50.0)
+        gaps = [b - a for a, b in zip([0.0] + ticks, ticks)]
+        assert all(0.75 <= g <= 1.25 for g in gaps)
+        assert len(ticks) > 30
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 0.0, lambda: None)
+
+    def test_invalid_jitter_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 1.0, lambda: None, jitter=1.5,
+                         rng=RandomStream(1))
+
+    def test_set_period(self):
+        sim = Simulator()
+        ticks = []
+        task = PeriodicTask(sim, 1.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.schedule(1.5, lambda: task.set_period(2.0))
+        sim.run(until=6.0)
+        assert ticks == [1.0, 2.0, 4.0, 6.0]
+
+    def test_stop_inside_callback(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            task.stop()
+
+        task = PeriodicTask(sim, 1.0, tick)
+        task.start()
+        sim.run(until=5.0)
+        assert ticks == [1.0]
+
+    def test_running_property(self):
+        sim = Simulator()
+        task = PeriodicTask(sim, 1.0, lambda: None)
+        assert not task.running
+        task.start()
+        assert task.running
+        task.stop()
+        assert not task.running

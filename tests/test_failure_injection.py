@@ -1,0 +1,151 @@
+"""Failure-injection integration tests: crashes, rejoin, late joiners,
+partitions — the churn dynamics the paper's ad-hoc setting implies."""
+
+from repro.core.config import ProtocolConfig
+from repro.core.node import NetworkNode, NodeStackConfig
+from repro.crypto.keystore import HmacScheme, KeyDirectory
+from repro.des.kernel import Simulator
+from repro.des.random import StreamFactory
+from repro.radio.geometry import Position
+from repro.radio.medium import Medium
+
+from tests.helpers import build_network, line_coords
+
+
+def got(node, msg_id) -> bool:
+    return any(rec[2] == msg_id for rec in node.accepted)
+
+
+class TestCrashFaults:
+    def test_crashed_relay_blocks_then_rejoin_recovers(self):
+        # Line 0-1-2: relay 1 crashes (radio off), message stalls at 0;
+        # relay reboots, the still-advertised gossip heals everything.
+        stack = NodeStackConfig(protocol=ProtocolConfig(
+            gossip_advertise_ttl=30.0, purge_timeout=60.0))
+        sim, medium, nodes, _ = build_network(line_coords(3, 80.0), 100.0,
+                                              stack=stack)
+        sim.run(until=8.0)
+        nodes[1].radio.power_off()
+        msg_id = nodes[0].broadcast(b"through the crash")
+        sim.run(until=sim.now + 5.0)
+        assert not got(nodes[1], msg_id)
+        assert not got(nodes[2], msg_id)
+        nodes[1].radio.power_on()
+        sim.run(until=sim.now + 25.0)
+        assert got(nodes[1], msg_id)
+        assert got(nodes[2], msg_id)
+
+    def test_crashed_node_ages_out_of_neighbor_sets(self):
+        sim, medium, nodes, _ = build_network(line_coords(3, 80.0), 100.0)
+        sim.run(until=8.0)
+        assert 1 in nodes[0].neighbors.neighbors()
+        nodes[1].radio.power_off()
+        sim.run(until=sim.now + 10.0)
+        assert 1 not in nodes[0].neighbors.neighbors()
+
+    def test_overlay_reelects_after_member_crash(self):
+        sim, medium, nodes, _ = build_network(line_coords(4, 80.0), 100.0)
+        sim.run(until=10.0)
+        members = [n for n in nodes if n.overlay.in_overlay]
+        interior = [n for n in members if n.node_id in (1, 2)]
+        if not interior:
+            return  # election picked only the ends; nothing to crash
+        victim = interior[0]
+        victim.radio.power_off()
+        sim.run(until=sim.now + 15.0)
+        alive_members = {n.node_id for n in nodes
+                         if n is not victim and n.overlay.in_overlay}
+        # Someone (re-)covers the victim's side of the line.
+        assert alive_members
+
+
+class TestLateJoiner:
+    def test_joiner_recovers_recent_messages_via_gossip(self):
+        stack = NodeStackConfig(protocol=ProtocolConfig(
+            gossip_advertise_ttl=30.0, purge_timeout=60.0))
+        sim = Simulator()
+        streams = StreamFactory(17)
+        medium = Medium(sim, streams.stream("medium"))
+        directory = KeyDirectory(HmacScheme(seed=b"join"))
+        coords = line_coords(3, 80.0)
+        nodes = [NetworkNode(sim, medium, i, Position(*coords[i]), 100.0,
+                             streams, directory, stack)
+                 for i in range(3)]
+        for node in nodes:
+            node.start()
+        sim.run(until=8.0)
+        msg_id = nodes[0].broadcast(b"before the join")
+        sim.run(until=sim.now + 5.0)
+        # A fourth node appears next to node 2.
+        joiner = NetworkNode(sim, medium, 3, Position(240.0, 0.0), 100.0,
+                             streams, directory, stack)
+        joiner.start()
+        sim.run(until=sim.now + 20.0)
+        assert got(joiner, msg_id)
+
+    def test_joiner_misses_purged_messages(self):
+        stack = NodeStackConfig(protocol=ProtocolConfig(
+            gossip_advertise_ttl=3.0, purge_timeout=4.0, purge_period=1.0))
+        sim = Simulator()
+        streams = StreamFactory(18)
+        medium = Medium(sim, streams.stream("medium"))
+        directory = KeyDirectory(HmacScheme(seed=b"join2"))
+        coords = line_coords(2, 80.0)
+        nodes = [NetworkNode(sim, medium, i, Position(*coords[i]), 100.0,
+                             streams, directory, stack)
+                 for i in range(2)]
+        for node in nodes:
+            node.start()
+        sim.run(until=8.0)
+        msg_id = nodes[0].broadcast(b"ephemeral")
+        sim.run(until=sim.now + 10.0)  # well past purge
+        joiner = NetworkNode(sim, medium, 2, Position(160.0, 0.0), 100.0,
+                             streams, directory, stack)
+        joiner.start()
+        sim.run(until=sim.now + 15.0)
+        # Timeout purging is the paper's explicit trade-off: history is
+        # bounded, so the late joiner cannot see pre-purge messages.
+        assert not got(joiner, msg_id)
+
+
+class TestPartitionHeal:
+    def test_partition_heals_within_retention(self):
+        # 0-1   2-3: bridge node 1 walks away, messages flow only on the
+        # left; when it walks back, the right island catches up.
+        stack = NodeStackConfig(protocol=ProtocolConfig(
+            gossip_advertise_ttl=40.0, purge_timeout=80.0))
+        coords = [(0.0, 0.0), (80.0, 0.0), (160.0, 0.0), (240.0, 0.0)]
+        sim, medium, nodes, _ = build_network(coords, 100.0, stack=stack)
+        sim.run(until=8.0)
+        home = nodes[1].radio.position
+        nodes[1].radio.position = Position(80.0, 5000.0)  # gone
+        sim.run(until=sim.now + 6.0)
+        msg_id = nodes[0].broadcast(b"across the partition")
+        sim.run(until=sim.now + 8.0)
+        assert not got(nodes[2], msg_id)
+        assert not got(nodes[3], msg_id)
+        nodes[1].radio.position = home  # the bridge returns
+        sim.run(until=sim.now + 30.0)
+        assert got(nodes[1], msg_id)
+        assert got(nodes[2], msg_id)
+        assert got(nodes[3], msg_id)
+
+    def test_concurrent_broadcasts_in_both_islands_merge(self):
+        stack = NodeStackConfig(protocol=ProtocolConfig(
+            gossip_advertise_ttl=40.0, purge_timeout=80.0))
+        coords = [(0.0, 0.0), (80.0, 0.0), (160.0, 0.0), (240.0, 0.0)]
+        sim, medium, nodes, _ = build_network(coords, 100.0, stack=stack)
+        sim.run(until=8.0)
+        home = nodes[1].radio.position
+        nodes[1].radio.position = Position(80.0, 5000.0)
+        sim.run(until=sim.now + 6.0)
+        left = nodes[0].broadcast(b"left island")
+        right = nodes[3].broadcast(b"right island")
+        sim.run(until=sim.now + 8.0)
+        nodes[1].radio.position = home
+        sim.run(until=sim.now + 35.0)
+        for node in nodes:
+            if node.node_id != left.originator:
+                assert got(node, left), f"node {node.node_id} missing left"
+            if node.node_id != right.originator:
+                assert got(node, right), f"node {node.node_id} missing right"

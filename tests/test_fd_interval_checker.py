@@ -1,0 +1,111 @@
+"""Tests for the I_mute interval-property checker, including a live run."""
+
+import pytest
+
+from repro.adversary.behaviors import MuteBehavior
+from repro.fd.interval import IntervalChecker, Window
+from repro.sim.network import NetworkBuilder
+
+
+class TestWindow:
+    def test_contains_half_open(self):
+        window = Window(1.0, 2.0)
+        assert window.contains(1.0)
+        assert window.contains(1.999)
+        assert not window.contains(2.0)
+
+    def test_overlaps(self):
+        assert Window(0, 2).overlaps(Window(1, 3))
+        assert not Window(0, 1).overlaps(Window(1, 2))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            Window(2.0, 1.0)
+
+    def test_duration(self):
+        assert Window(1.0, 3.5).duration == 2.5
+
+
+class TestCheckerSynthetic:
+    def test_accuracy_holds_with_no_suspicions(self):
+        checker = IntervalChecker()
+        report = checker.check_accuracy(Window(0, 100), {1, 2, 3})
+        assert report.holds
+
+    def test_accuracy_violated_by_wrong_suspicion(self):
+        checker = IntervalChecker()
+        checker.observe_suspicion(observer=1, target=2, time=5.0)
+        report = checker.check_accuracy(Window(0, 10), {1, 2})
+        assert not report.holds
+        assert "node 1 suspected non-mute node 2" in report.violations[0]
+
+    def test_accuracy_ignores_byzantine_targets(self):
+        checker = IntervalChecker()
+        checker.observe_suspicion(observer=1, target=9, time=5.0)
+        report = checker.check_accuracy(Window(0, 10), correct_nodes={1, 2})
+        assert report.holds  # 9 is not in the correct set
+
+    def test_accuracy_ignores_truly_mute_targets(self):
+        checker = IntervalChecker()
+        checker.declare_mute(2, 4.0, 6.0)
+        checker.observe_suspicion(observer=1, target=2, time=5.0)
+        report = checker.check_accuracy(Window(0, 10), {1, 2})
+        assert report.holds
+
+    def test_accuracy_ignores_out_of_window_events(self):
+        checker = IntervalChecker()
+        checker.observe_suspicion(observer=1, target=2, time=50.0)
+        report = checker.check_accuracy(Window(0, 10), {1, 2})
+        assert report.holds
+
+    def test_completeness_holds_when_suspected_in_time(self):
+        checker = IntervalChecker()
+        checker.declare_mute(2, 10.0, 40.0)
+        checker.observe_suspicion(observer=1, target=2, time=18.0)
+        report = checker.check_completeness(2, Window(10.0, 40.0),
+                                            suspicion_interval=15.0)
+        assert report.holds
+
+    def test_completeness_violated_when_too_late(self):
+        checker = IntervalChecker()
+        checker.declare_mute(2, 10.0, 40.0)
+        checker.observe_suspicion(observer=1, target=2, time=38.0)
+        report = checker.check_completeness(2, Window(10.0, 40.0),
+                                            suspicion_interval=15.0)
+        assert not report.holds
+
+    def test_detection_delay(self):
+        checker = IntervalChecker()
+        checker.observe_suspicion(observer=1, target=2, time=18.0)
+        assert checker.detection_delay(2, Window(10.0, 40.0)) \
+            == pytest.approx(8.0)
+        assert checker.detection_delay(3, Window(10.0, 40.0)) is None
+
+
+class TestCheckerLiveRun:
+    def test_live_network_satisfies_both_properties(self):
+        """Run the diamond mute attack and verify the recorded history
+        satisfies I_mute completeness and accuracy."""
+        net = (NetworkBuilder(seed=7).diamond()
+               .with_behavior(2, MuteBehavior()).build().warm_up())
+        checker = IntervalChecker()
+        start = net.sim.now
+        checker.declare_mute(2, start, start + 1000.0)
+        for node in net.nodes:
+            if node.node_id == 2:
+                continue
+            node.mute.add_listener(
+                lambda target, reason, me=node.node_id:
+                checker.observe_suspicion(me, target, net.sim.now))
+        for i in range(8):
+            net.nodes[0].broadcast(f"probe {i}".encode())
+            net.run(3.0)
+        net.run(5.0)
+
+        completeness = checker.check_completeness(
+            2, Window(start, net.sim.now), suspicion_interval=30.0)
+        assert completeness.holds, completeness.violations
+
+        accuracy = checker.check_accuracy(
+            Window(start, net.sim.now), correct_nodes={0, 1, 3})
+        assert accuracy.holds, accuracy.violations

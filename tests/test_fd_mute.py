@@ -1,0 +1,185 @@
+"""Unit tests for the MUTE failure detector (I_mute semantics)."""
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.fd.events import ANY, ExpectMode, HeaderPattern, SuspicionReason
+from repro.fd.mute import MuteConfig, MuteFailureDetector
+
+
+def make(threshold=1, timeout=2.0, aging_period=1000.0, aging_amount=1):
+    sim = Simulator()
+    fd = MuteFailureDetector(sim, MuteConfig(
+        expect_timeout=timeout, suspicion_threshold=threshold,
+        aging_period=aging_period, aging_amount=aging_amount))
+    return sim, fd
+
+
+HEADER = {"type": "data", "originator": 1, "seq": 5}
+
+
+class TestHeaderPattern:
+    def test_exact_match(self):
+        assert HeaderPattern(type="data", seq=5).matches(HEADER)
+
+    def test_mismatch(self):
+        assert not HeaderPattern(type="gossip").matches(HEADER)
+
+    def test_wildcard(self):
+        pattern = HeaderPattern(type="data", seq=ANY)
+        assert pattern.matches(HEADER)
+        assert pattern.matches({"type": "data", "seq": 99})
+
+    def test_wildcard_requires_field_presence(self):
+        assert not HeaderPattern(missing=ANY).matches(HEADER)
+
+    def test_absent_field_no_match(self):
+        assert not HeaderPattern(other=1).matches(HEADER)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            HeaderPattern()
+
+
+class TestExpectations:
+    def test_fulfilled_expectation_no_suspicion(self):
+        sim, fd = make()
+        fd.expect(HeaderPattern(type="data", seq=5), [2], ExpectMode.ONE)
+        fd.observe(2, HEADER)
+        sim.run()
+        assert not fd.suspected(2)
+        assert fd.stats.fulfilled == 1
+
+    def test_timeout_raises_strike(self):
+        sim, fd = make(threshold=1)
+        fd.expect(HeaderPattern(type="data", seq=5), [2], ExpectMode.ONE)
+        sim.run(until=3.0)
+        assert fd.suspected(2)
+        assert fd.stats.timeouts == 1
+
+    def test_wrong_header_does_not_fulfill(self):
+        sim, fd = make(threshold=1)
+        fd.expect(HeaderPattern(type="data", seq=5), [2], ExpectMode.ONE)
+        fd.observe(2, {"type": "data", "originator": 1, "seq": 6})
+        sim.run(until=3.0)
+        assert fd.suspected(2)
+
+    def test_wrong_sender_does_not_fulfill(self):
+        sim, fd = make(threshold=1)
+        fd.expect(HeaderPattern(type="data", seq=5), [2], ExpectMode.ONE)
+        fd.observe(3, HEADER)
+        sim.run(until=3.0)
+        assert fd.suspected(2)
+        assert not fd.suspected(3)
+
+    def test_one_mode_any_sender_clears_all(self):
+        sim, fd = make(threshold=1)
+        fd.expect(HeaderPattern(type="data", seq=5), [2, 3, 4],
+                  ExpectMode.ONE)
+        fd.observe(3, HEADER)
+        sim.run()
+        assert fd.suspected_nodes() == []
+
+    def test_all_mode_stragglers_suspected(self):
+        sim, fd = make(threshold=1)
+        fd.expect(HeaderPattern(type="data", seq=5), [2, 3, 4],
+                  ExpectMode.ALL)
+        fd.observe(3, HEADER)
+        sim.run(until=3.0)
+        assert fd.suspected_nodes() == [2, 4]
+
+    def test_all_mode_everyone_sends(self):
+        sim, fd = make(threshold=1)
+        fd.expect(HeaderPattern(type="data", seq=5), [2, 3], ExpectMode.ALL)
+        fd.observe(2, HEADER)
+        fd.observe(3, HEADER)
+        sim.run()
+        assert fd.suspected_nodes() == []
+
+    def test_empty_node_set_noop(self):
+        sim, fd = make()
+        expectation = fd.expect(HeaderPattern(type="data"), [],
+                                ExpectMode.ONE)
+        assert expectation.fulfilled
+        sim.run()
+        assert fd.suspected_nodes() == []
+
+    def test_late_observation_does_not_unsuspect(self):
+        sim, fd = make(threshold=1, aging_period=100.0)
+        fd.expect(HeaderPattern(type="data", seq=5), [2], ExpectMode.ONE)
+        sim.run(until=3.0)
+        fd.observe(2, HEADER)
+        assert fd.suspected(2)  # strikes only decay via aging
+
+    def test_explicit_fulfill_withdraws(self):
+        sim, fd = make(threshold=1)
+        expectation = fd.expect(HeaderPattern(type="data", seq=5), [2],
+                                ExpectMode.ONE)
+        fd.fulfill(expectation)
+        sim.run()
+        assert not fd.suspected(2)
+
+    def test_custom_timeout(self):
+        sim, fd = make(threshold=1, timeout=2.0)
+        fd.expect(HeaderPattern(type="data", seq=5), [2], ExpectMode.ONE,
+                  timeout=10.0)
+        sim.run(until=5.0)
+        assert not fd.suspected(2)
+        sim.run(until=11.0)
+        assert fd.suspected(2)
+
+
+class TestCountingAndAging:
+    def test_threshold_requires_multiple_strikes(self):
+        sim, fd = make(threshold=3, aging_period=1000.0)
+        for seq in range(2):
+            fd.expect(HeaderPattern(type="data", seq=seq), [2])
+        sim.run(until=3.0)
+        assert not fd.suspected(2)
+        fd.expect(HeaderPattern(type="data", seq=99), [2])
+        sim.run(until=6.0)
+        assert fd.suspected(2)
+        assert fd.suspicion_count(2) == 3
+
+    def test_aging_rehabilitates(self):
+        sim, fd = make(threshold=1, aging_period=5.0, aging_amount=1)
+        fd.expect(HeaderPattern(type="data", seq=5), [2])
+        sim.run(until=3.0)
+        assert fd.suspected(2)
+        sim.run(until=11.0)  # two aging ticks
+        assert not fd.suspected(2)
+
+    def test_persistently_mute_stays_suspected(self):
+        # Strikes arrive faster than aging decays them.
+        sim, fd = make(threshold=2, aging_period=10.0, aging_amount=1,
+                       timeout=1.0)
+        for i in range(30):
+            sim.schedule_at(float(i),
+                            lambda i=i: fd.expect(
+                                HeaderPattern(type="data", seq=i), [2]))
+        sim.run(until=29.5)
+        assert fd.suspected(2)
+
+    def test_listener_fires_once_at_threshold(self):
+        sim, fd = make(threshold=2, aging_period=1000.0)
+        events = []
+        fd.add_listener(lambda node, reason: events.append((node, reason)))
+        for seq in range(3):
+            fd.expect(HeaderPattern(type="data", seq=seq), [2])
+        sim.run()
+        assert events == [(2, SuspicionReason.MUTE)]
+
+    def test_clear_suspicion(self):
+        sim, fd = make(threshold=1)
+        fd.expect(HeaderPattern(type="data", seq=5), [2])
+        sim.run(until=3.0)
+        fd.clear_suspicion(2)
+        assert not fd.suspected(2)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MuteConfig(expect_timeout=0)
+        with pytest.raises(ValueError):
+            MuteConfig(suspicion_threshold=0)
+        with pytest.raises(ValueError):
+            MuteConfig(aging_period=0)

@@ -1,0 +1,191 @@
+"""Unit tests for the VERBOSE and TRUST failure detectors."""
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.fd.events import SuspicionReason
+from repro.fd.mute import MuteConfig, MuteFailureDetector
+from repro.fd.events import ExpectMode, HeaderPattern
+from repro.fd.trust import TrustConfig, TrustFailureDetector, TrustLevel
+from repro.fd.verbose import VerboseConfig, VerboseFailureDetector
+
+
+class TestVerbose:
+    def make(self, threshold=3, aging_period=1000.0, aging_amount=1):
+        sim = Simulator()
+        fd = VerboseFailureDetector(sim, VerboseConfig(
+            suspicion_threshold=threshold, aging_period=aging_period,
+            aging_amount=aging_amount))
+        return sim, fd
+
+    def test_indict_below_threshold_not_suspected(self):
+        _, fd = self.make(threshold=3)
+        fd.indict(5)
+        fd.indict(5)
+        assert not fd.suspected(5)
+
+    def test_indict_reaching_threshold_suspected(self):
+        _, fd = self.make(threshold=3)
+        for _ in range(3):
+            fd.indict(5)
+        assert fd.suspected(5)
+        assert fd.suspected_nodes() == [5]
+
+    def test_listener_fires_once(self):
+        _, fd = self.make(threshold=2)
+        events = []
+        fd.add_listener(lambda n, r: events.append((n, r)))
+        for _ in range(4):
+            fd.indict(5)
+        assert events == [(5, SuspicionReason.VERBOSE)]
+
+    def test_aging_decrements(self):
+        sim, fd = self.make(threshold=2, aging_period=5.0)
+        fd.indict(5)
+        fd.indict(5)
+        assert fd.suspected(5)
+        sim.run(until=11.0)
+        assert not fd.suspected(5)
+        assert fd.suspicion_count(5) == 0
+
+    def test_min_spacing_violation_indicts(self):
+        sim, fd = self.make(threshold=1)
+        fd.set_min_spacing("gossip", 1.0)
+        fd.observe(5, "gossip")
+        sim.schedule(0.2, lambda: fd.observe(5, "gossip"))
+        sim.run(until=1.0)
+        assert fd.suspected(5)
+        assert fd.stats.rate_violations == 1
+
+    def test_spaced_arrivals_tolerated(self):
+        sim, fd = self.make(threshold=1)
+        fd.set_min_spacing("gossip", 1.0)
+        for t in range(5):
+            sim.schedule_at(float(t) * 1.5 + 0.1,
+                            lambda: fd.observe(5, "gossip"))
+        sim.run()
+        assert not fd.suspected(5)
+
+    def test_unpoliced_type_ignored(self):
+        sim, fd = self.make(threshold=1)
+        fd.observe(5, "data")
+        fd.observe(5, "data")
+        assert not fd.suspected(5)
+
+    def test_per_sender_tracking(self):
+        sim, fd = self.make(threshold=1)
+        fd.set_min_spacing("gossip", 1.0)
+        fd.observe(5, "gossip")
+        fd.observe(6, "gossip")  # different sender, no violation
+        assert not fd.suspected(5)
+        assert not fd.suspected(6)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            VerboseConfig(suspicion_threshold=0)
+        with pytest.raises(ValueError):
+            VerboseConfig(aging_period=0)
+        sim, fd = self.make()
+        with pytest.raises(ValueError):
+            fd.set_min_spacing("x", 0)
+
+
+class TestTrust:
+    def make(self, direct_threshold=1, ttl=60.0):
+        sim = Simulator()
+        mute = MuteFailureDetector(sim, MuteConfig(suspicion_threshold=1))
+        verbose = VerboseFailureDetector(sim,
+                                         VerboseConfig(suspicion_threshold=2))
+        trust = TrustFailureDetector(sim, mute, verbose, TrustConfig(
+            direct_threshold=direct_threshold, peer_report_ttl=ttl))
+        return sim, mute, verbose, trust
+
+    def test_default_level_trusted(self):
+        _, _, _, trust = self.make()
+        assert trust.level(9) is TrustLevel.TRUSTED
+        assert trust.trusts(9)
+
+    def test_direct_suspect_untrusts(self):
+        _, _, _, trust = self.make()
+        trust.suspect(9, SuspicionReason.BAD_SIGNATURE)
+        assert trust.level(9) is TrustLevel.UNTRUSTED
+        assert 9 in trust.untrusted_nodes()
+
+    def test_mute_suspicion_propagates(self):
+        sim, mute, _, trust = self.make()
+        mute.expect(HeaderPattern(type="data", seq=1), [9], ExpectMode.ONE)
+        sim.run(until=3.0)
+        assert trust.level(9) is TrustLevel.UNTRUSTED
+
+    def test_verbose_suspicion_propagates(self):
+        _, _, verbose, trust = self.make()
+        verbose.indict(9)
+        verbose.indict(9)
+        assert trust.level(9) is TrustLevel.UNTRUSTED
+
+    def test_peer_report_marks_unknown(self):
+        _, _, _, trust = self.make()
+        trust.report_from_peer(reporter=2, suspected_node=9)
+        assert trust.level(9) is TrustLevel.UNKNOWN
+
+    def test_unknown_does_not_override_untrusted(self):
+        _, _, _, trust = self.make()
+        trust.suspect(9, SuspicionReason.BAD_SIGNATURE)
+        trust.report_from_peer(reporter=2, suspected_node=9)
+        assert trust.level(9) is TrustLevel.UNTRUSTED
+
+    def test_report_from_untrusted_reporter_ignored(self):
+        # "unless p already suspects either q or r"
+        _, _, _, trust = self.make()
+        trust.suspect(2, SuspicionReason.BAD_SIGNATURE)
+        trust.report_from_peer(reporter=2, suspected_node=9)
+        assert trust.level(9) is TrustLevel.TRUSTED
+
+    def test_self_report_ignored(self):
+        _, _, _, trust = self.make()
+        trust.report_from_peer(reporter=9, suspected_node=9)
+        assert trust.level(9) is TrustLevel.TRUSTED
+
+    def test_peer_report_expires(self):
+        sim, _, _, trust = self.make(ttl=10.0)
+        trust.report_from_peer(reporter=2, suspected_node=9)
+        assert trust.level(9) is TrustLevel.UNKNOWN
+        sim.run(until=15.0)
+        assert trust.level(9) is TrustLevel.TRUSTED
+
+    def test_direct_threshold_counting(self):
+        _, _, _, trust = self.make(direct_threshold=3)
+        trust.suspect(9, SuspicionReason.BAD_SIGNATURE)
+        trust.suspect(9, SuspicionReason.BAD_SIGNATURE)
+        assert trust.level(9) is TrustLevel.TRUSTED
+        trust.suspect(9, SuspicionReason.BAD_SIGNATURE)
+        assert trust.level(9) is TrustLevel.UNTRUSTED
+
+    def test_direct_suspicion_ages_out(self):
+        sim, _, _, trust = self.make()
+        trust.suspect(9, SuspicionReason.BAD_SIGNATURE)
+        sim.run(until=45.0)  # > aging period (20 s default)
+        assert trust.level(9) is TrustLevel.TRUSTED
+
+    def test_history_recorded(self):
+        sim, _, _, trust = self.make()
+        trust.suspect(9, SuspicionReason.BAD_SIGNATURE)
+        history = trust.history(9)
+        assert len(history) == 1
+        assert history[0][1] is SuspicionReason.BAD_SIGNATURE
+
+    def test_listener_notified(self):
+        _, _, _, trust = self.make()
+        events = []
+        trust.add_listener(lambda n, level: events.append((n, level)))
+        trust.suspect(9, SuspicionReason.BAD_SIGNATURE)
+        assert (9, TrustLevel.UNTRUSTED) in events
+
+    def test_levels_ordered(self):
+        assert TrustLevel.UNTRUSTED < TrustLevel.UNKNOWN < TrustLevel.TRUSTED
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TrustConfig(direct_threshold=0)
+        with pytest.raises(ValueError):
+            TrustConfig(peer_report_ttl=0)

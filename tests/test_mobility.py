@@ -1,0 +1,193 @@
+"""Unit tests for placement and mobility models."""
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.des.random import RandomStream, StreamFactory
+from repro.mobility.placement import (
+    connected_uniform_positions,
+    connectivity_graph,
+    grid_positions,
+    is_connected,
+    line_positions,
+    uniform_positions,
+)
+from repro.mobility.waypoint import RandomWalk, RandomWaypoint, StaticMobility
+from repro.radio.geometry import Area, Position
+from repro.radio.medium import Medium
+from repro.radio.propagation import UnitDisk
+from repro.radio.radio import Radio
+
+
+class TestPlacement:
+    def test_uniform_positions_inside_area(self):
+        area = Area(100, 200)
+        positions = uniform_positions(area, 50, RandomStream(1))
+        assert len(positions) == 50
+        assert all(area.contains(p) for p in positions)
+
+    def test_uniform_reproducible(self):
+        area = Area(100, 100)
+        a = uniform_positions(area, 10, RandomStream(5))
+        b = uniform_positions(area, 10, RandomStream(5))
+        assert a == b
+
+    def test_grid_positions_count_and_bounds(self):
+        area = Area(100, 100)
+        positions = grid_positions(area, 10)
+        assert len(positions) == 10
+        assert all(area.contains(p) for p in positions)
+
+    def test_grid_positions_distinct(self):
+        positions = grid_positions(Area(100, 100), 16)
+        assert len(set(positions)) == 16
+
+    def test_line_positions_spacing(self):
+        positions = line_positions(5, 80.0)
+        assert positions[0] == Position(0, 0)
+        assert positions[4] == Position(320.0, 0)
+
+    def test_line_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            line_positions(5, 0)
+
+    def test_connectivity_graph_edges(self):
+        positions = [Position(0, 0), Position(50, 0), Position(200, 0)]
+        graph = connectivity_graph(positions, 100.0)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 2)
+
+    def test_is_connected_full_and_subset(self):
+        positions = [Position(0, 0), Position(50, 0), Position(500, 0)]
+        assert not is_connected(positions, 100.0)
+        assert is_connected(positions, 100.0, subset=[0, 1])
+
+    def test_connected_uniform_positions_connected(self):
+        area = Area(300, 300)
+        positions = connected_uniform_positions(area, 20, 100.0,
+                                                RandomStream(1))
+        assert is_connected(positions, 100.0)
+
+    def test_connected_uniform_respects_subset(self):
+        area = Area(300, 300)
+        positions = connected_uniform_positions(
+            area, 15, 100.0, RandomStream(2), required_connected=[0, 1, 2])
+        assert is_connected(positions, 100.0, subset=[0, 1, 2])
+
+    def test_impossible_placement_raises(self):
+        area = Area(10_000, 10_000)
+        with pytest.raises(RuntimeError):
+            connected_uniform_positions(area, 5, 10.0, RandomStream(1),
+                                        max_tries=5)
+
+    def test_single_node_trivially_connected(self):
+        assert is_connected([Position(0, 0)], 10.0)
+
+
+def build_radios(count, sim, area):
+    streams = StreamFactory(9)
+    medium = Medium(sim, streams.stream("m"), UnitDisk())
+    return [Radio(sim, medium, i,
+                  Position(area.width / 2, area.height / 2), 100.0,
+                  streams.stream(f"mac{i}"))
+            for i in range(count)]
+
+
+class TestMobilityModels:
+    def test_static_positions_never_change(self):
+        sim = Simulator()
+        area = Area(100, 100)
+        radios = build_radios(3, sim, area)
+        before = [r.position for r in radios]
+        StaticMobility(sim, radios).start()
+        sim.run(until=10.0)
+        assert [r.position for r in radios] == before
+        assert sim.events_fired == 0  # static model schedules nothing
+
+    def test_waypoint_stays_in_area(self):
+        sim = Simulator()
+        area = Area(100, 100)
+        radios = build_radios(3, sim, area)
+        model = RandomWaypoint(sim, radios, area, RandomStream(4),
+                               speed_min=1.0, speed_max=5.0, pause_max=1.0)
+        positions = []
+        model.start()
+
+        def sample():
+            positions.extend(r.position for r in radios)
+
+        for t in range(1, 60):
+            sim.schedule_at(float(t), sample)
+        sim.run(until=60.0)
+        assert all(area.contains(p) for p in positions)
+
+    def test_waypoint_actually_moves(self):
+        sim = Simulator()
+        area = Area(1000, 1000)
+        radios = build_radios(1, sim, area)
+        start = radios[0].position
+        model = RandomWaypoint(sim, radios, area, RandomStream(4),
+                               speed_min=2.0, speed_max=5.0, pause_max=0.5)
+        model.start()
+        sim.run(until=30.0)
+        assert radios[0].position.distance_to(start) > 0
+
+    def test_waypoint_speed_bound(self):
+        sim = Simulator()
+        area = Area(1000, 1000)
+        radios = build_radios(1, sim, area)
+        model = RandomWaypoint(sim, radios, area, RandomStream(4),
+                               speed_min=1.0, speed_max=3.0, pause_max=0.0,
+                               tick=0.5)
+        model.start()
+        last = {"p": radios[0].position, "t": 0.0}
+        violations = []
+
+        def check():
+            moved = radios[0].position.distance_to(last["p"])
+            dt = sim.now - last["t"]
+            if dt > 0 and moved / dt > 3.0 + 1e-6:
+                violations.append((sim.now, moved / dt))
+            last["p"] = radios[0].position
+            last["t"] = sim.now
+
+        for t in range(1, 40):
+            sim.schedule_at(t * 0.5, check)
+        sim.run(until=20.0)
+        assert violations == []
+
+    def test_walk_stays_in_area(self):
+        sim = Simulator()
+        area = Area(50, 50)
+        radios = build_radios(2, sim, area)
+        model = RandomWalk(sim, radios, area, RandomStream(4), speed_max=20.0)
+        model.start()
+        samples = []
+        for t in range(1, 40):
+            sim.schedule_at(float(t),
+                            lambda: samples.extend(r.position
+                                                   for r in radios))
+        sim.run(until=40.0)
+        assert all(area.contains(p) for p in samples)
+
+    def test_stop_halts_movement(self):
+        sim = Simulator()
+        area = Area(1000, 1000)
+        radios = build_radios(1, sim, area)
+        model = RandomWalk(sim, radios, area, RandomStream(4))
+        model.start()
+        sim.run(until=5.0)
+        model.stop()
+        frozen = radios[0].position
+        sim.run(until=10.0)
+        assert radios[0].position == frozen
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        area = Area(10, 10)
+        with pytest.raises(ValueError):
+            RandomWaypoint(sim, [], area, RandomStream(1), speed_min=0.0)
+        with pytest.raises(ValueError):
+            RandomWalk(sim, [], area, RandomStream(1), speed_max=0.0)
+        with pytest.raises(ValueError):
+            StaticMobility(sim, [], tick=0.0)

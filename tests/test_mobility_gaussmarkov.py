@@ -1,0 +1,97 @@
+"""Unit tests for the Gauss-Markov mobility model."""
+
+import math
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.des.random import RandomStream, StreamFactory
+from repro.mobility.gaussmarkov import GaussMarkov
+from repro.radio.geometry import Area, Position
+from repro.radio.medium import Medium
+from repro.radio.propagation import UnitDisk
+from repro.radio.radio import Radio
+
+
+def build(count, area, **kwargs):
+    sim = Simulator()
+    streams = StreamFactory(13)
+    medium = Medium(sim, streams.stream("m"), UnitDisk())
+    radios = [Radio(sim, medium, i,
+                    Position(area.width / 2, area.height / 2), 100.0,
+                    streams.stream(f"mac{i}"))
+              for i in range(count)]
+    model = GaussMarkov(sim, radios, area, RandomStream(21), **kwargs)
+    return sim, radios, model
+
+
+def test_stays_in_area():
+    area = Area(200, 200)
+    sim, radios, model = build(3, area, mean_speed=5.0)
+    model.start()
+    samples = []
+    for t in range(1, 120):
+        sim.schedule_at(float(t),
+                        lambda: samples.extend(r.position for r in radios))
+    sim.run(until=120.0)
+    assert samples
+    assert all(area.contains(p) for p in samples)
+
+
+def test_movement_happens():
+    area = Area(500, 500)
+    sim, radios, model = build(1, area, mean_speed=2.0)
+    start = radios[0].position
+    model.start()
+    sim.run(until=30.0)
+    assert radios[0].position.distance_to(start) > 1.0
+
+
+def test_high_alpha_movement_is_smooth():
+    """With alpha near 1 successive headings change slowly: the path's
+    turning angles stay small compared to a memoryless walk."""
+    area = Area(10_000, 10_000)  # huge: no edge steering
+    sim, radios, model = build(1, area, mean_speed=3.0, alpha=0.97,
+                               heading_sigma=0.3)
+    model.start()
+    positions = []
+    for t in range(1, 100):
+        sim.schedule_at(t * 0.5, lambda: positions.append(radios[0].position))
+    sim.run(until=50.0)
+    turns = []
+    for a, b, c in zip(positions, positions[1:], positions[2:]):
+        h1 = math.atan2(b.y - a.y, b.x - a.x)
+        h2 = math.atan2(c.y - b.y, c.x - b.x)
+        turn = abs((h2 - h1 + math.pi) % (2 * math.pi) - math.pi)
+        turns.append(turn)
+    mean_turn = sum(turns) / len(turns)
+    assert mean_turn < 0.6  # radians; a uniform walk averages ~pi/2
+
+
+def test_speed_never_negative():
+    area = Area(1000, 1000)
+    sim, radios, model = build(1, area, mean_speed=0.5, speed_sigma=3.0,
+                               alpha=0.2)
+    model.start()
+    sim.run(until=60.0)  # would crash/teleport on negative speeds
+    assert area.contains(radios[0].position)
+
+
+def test_invalid_parameters():
+    area = Area(10, 10)
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        GaussMarkov(sim, [], area, RandomStream(1), alpha=1.5)
+    with pytest.raises(ValueError):
+        GaussMarkov(sim, [], area, RandomStream(1), mean_speed=0.0)
+
+
+def test_scenario_integration():
+    from repro.sim.experiment import ExperimentConfig, run_experiment
+    from repro.workloads.scenarios import ScenarioConfig
+    scenario = ScenarioConfig(n=10, seed=4, mobility="gaussmarkov",
+                              speed_max=2.0)
+    result = run_experiment(ExperimentConfig(
+        scenario=scenario, message_count=2, message_interval=1.0,
+        warmup=5.0, drain=10.0))
+    assert result.broadcasts == 2

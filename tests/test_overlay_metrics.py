@@ -1,0 +1,59 @@
+"""Unit tests for omniscient overlay quality evaluation."""
+
+import pytest
+
+from repro.overlay.metrics import evaluate_overlay
+from repro.radio.geometry import Position
+
+
+POSITIONS = {0: Position(0, 0), 1: Position(80, 0), 2: Position(160, 0),
+             3: Position(240, 0)}
+ALL = set(POSITIONS)
+
+
+def test_full_coverage_connected():
+    quality = evaluate_overlay(POSITIONS, 100.0, {1, 2}, ALL)
+    assert quality.coverage == 1.0
+    assert quality.correct_overlay_connected
+    assert quality.healthy
+    assert quality.overlay_size == 2
+    assert quality.overlay_fraction == pytest.approx(0.5)
+
+
+def test_uncovered_node_detected():
+    quality = evaluate_overlay(POSITIONS, 100.0, {1}, ALL)
+    # node 3 at 240 is not within 100 of node 1 at 80
+    assert quality.coverage == pytest.approx(3 / 4)
+    assert not quality.healthy
+
+
+def test_disconnected_overlay_detected():
+    positions = {0: Position(0, 0), 1: Position(80, 0), 2: Position(160, 0),
+                 3: Position(240, 0), 4: Position(320, 0)}
+    quality = evaluate_overlay(positions, 100.0, {0, 4},
+                               set(positions))
+    assert not quality.correct_overlay_connected
+
+
+def test_byzantine_members_excluded_from_correct_overlay():
+    quality = evaluate_overlay(POSITIONS, 100.0, {1, 2},
+                               correct_nodes={0, 1, 3})
+    assert quality.overlay_size == 2
+    assert quality.correct_overlay_size == 1
+    # Node 3 only covered by (Byzantine) node 2 → not covered.
+    assert quality.coverage == pytest.approx(2 / 3)
+
+
+def test_overlay_member_counts_as_covered():
+    quality = evaluate_overlay(POSITIONS, 100.0, ALL, ALL)
+    assert quality.coverage == 1.0
+
+
+def test_single_member_trivially_connected():
+    quality = evaluate_overlay(POSITIONS, 100.0, {0}, {0})
+    assert quality.correct_overlay_connected
+
+
+def test_empty_positions_rejected():
+    with pytest.raises(ValueError):
+        evaluate_overlay({}, 100.0, set(), set())

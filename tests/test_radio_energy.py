@@ -1,0 +1,109 @@
+"""Unit tests for the energy accounting model."""
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.des.random import RandomStream
+from repro.radio.energy import EnergyConfig, EnergyModel
+from repro.radio.geometry import Position
+from repro.radio.medium import Medium
+from repro.radio.packet import Packet
+from repro.radio.propagation import UnitDisk
+
+
+def build(config=EnergyConfig()):
+    sim = Simulator()
+    medium = Medium(sim, RandomStream(1), UnitDisk(),
+                    bitrate_bps=1_000_000.0, preamble_s=0.0)
+    energy = EnergyModel(sim, medium, config)
+    inbox = []
+    medium.attach(1, lambda: Position(0, 0), 100.0, lambda p: None)
+    medium.attach(2, lambda: Position(50, 0), 100.0, inbox.append)
+    return sim, medium, energy, inbox
+
+
+def packet(sender, size=1250):  # 10 ms at 1 Mb/s
+    return Packet(sender=sender, payload="x", size_bytes=size)
+
+
+def test_transmit_charged_to_sender():
+    sim, medium, energy, _ = build()
+    medium.transmit(1, packet(1))
+    sim.run()
+    meter = energy.meter(1)
+    assert meter.tx_joules == pytest.approx(1.65 * 0.01)
+    assert meter.tx_packets == 1
+    assert meter.rx_joules == 0.0
+
+
+def test_reception_charged_to_receiver():
+    sim, medium, energy, _ = build()
+    medium.transmit(1, packet(1))
+    sim.run()
+    meter = energy.meter(2)
+    assert meter.rx_joules == pytest.approx(1.40 * 0.01)
+    assert meter.rx_packets == 1
+
+
+def test_collision_still_burns_receiver_energy():
+    sim, medium, energy, _ = build()
+    medium.attach(3, lambda: Position(100, 0), 100.0, lambda p: None)
+    medium.transmit(1, packet(1))
+    medium.transmit(3, packet(3))
+    sim.run()
+    # Node 2 hears both, decodes neither — but its radio was listening.
+    assert energy.meter(2).rx_joules > 0
+    assert energy.meter(2).rx_packets == 0
+
+
+def test_energy_scales_with_packet_size():
+    sim, medium, energy, _ = build()
+    medium.transmit(1, packet(1, size=1250))
+    sim.run()
+    small = energy.meter(1).tx_joules
+    medium.transmit(1, packet(1, size=2500))
+    sim.run()
+    assert energy.meter(1).tx_joules == pytest.approx(3 * small)
+
+
+def test_total_includes_idle_draw():
+    sim, medium, energy, _ = build()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert energy.total_joules(1) == pytest.approx(0.045 * 10.0)
+
+
+def test_summary_shape():
+    sim, medium, energy, _ = build()
+    medium.transmit(1, packet(1))
+    sim.run()
+    summary = energy.summary()
+    assert summary["nodes"] == 2
+    assert summary["tx_joules"] > 0
+    assert summary["rx_joules"] > 0
+    assert summary["max_node_joules"] >= summary["mean_node_joules"]
+
+
+def test_empty_summary():
+    sim, medium, energy, _ = build()
+    summary = energy.summary()
+    assert summary["nodes"] == 0
+
+
+def test_invalid_config():
+    with pytest.raises(ValueError):
+        EnergyConfig(tx_watts=-1.0)
+
+
+def test_forwarder_pays_more_than_bystander():
+    """The selfishness incentive: an overlay relay burns more than a leaf."""
+    from tests.helpers import build_network, line_coords
+    sim, medium, nodes, _ = build_network(line_coords(3, 80.0), 100.0)
+    energy = EnergyModel(sim, medium)
+    sim.run(until=8.0)
+    for i in range(5):
+        nodes[0].broadcast(f"m{i}".encode())
+        sim.run(until=sim.now + 2.0)
+    relay = energy.meter(1).tx_joules      # middle node forwards
+    leaf = energy.meter(2).tx_joules       # end node mostly listens
+    assert relay > leaf

@@ -1,0 +1,67 @@
+"""Unit tests for geometry primitives."""
+
+import pytest
+
+from repro.radio.geometry import Area, Position
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+    def test_distance_symmetric(self):
+        a, b = Position(1, 2), Position(-4, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_within_strictly_inside(self):
+        assert Position(0, 0).within(Position(3, 4), 5.1)
+
+    def test_within_boundary_exclusive(self):
+        # The paper requires distance *smaller than* the range.
+        assert not Position(0, 0).within(Position(3, 4), 5.0)
+
+    def test_within_outside(self):
+        assert not Position(0, 0).within(Position(10, 0), 5.0)
+
+    def test_translated(self):
+        assert Position(1, 1).translated(2, -3) == Position(3, -2)
+
+
+class TestArea:
+    def test_contains(self):
+        area = Area(10, 20)
+        assert area.contains(Position(5, 5))
+        assert area.contains(Position(0, 0))
+        assert area.contains(Position(10, 20))
+        assert not area.contains(Position(-0.1, 5))
+        assert not area.contains(Position(5, 20.1))
+
+    def test_clamp(self):
+        area = Area(10, 10)
+        assert area.clamp(Position(-5, 15)) == Position(0, 10)
+        assert area.clamp(Position(5, 5)) == Position(5, 5)
+
+    def test_reflect_inside_unchanged(self):
+        area = Area(10, 10)
+        assert area.reflect(Position(3, 7)) == Position(3, 7)
+
+    def test_reflect_mirrors_over_edges(self):
+        area = Area(10, 10)
+        assert area.reflect(Position(-2, 5)) == Position(2, 5)
+        assert area.reflect(Position(12, 5)) == Position(8, 5)
+        assert area.reflect(Position(5, -3)) == Position(5, 3)
+        assert area.reflect(Position(5, 13)) == Position(5, 7)
+
+    def test_reflect_huge_step_clamped_inside(self):
+        area = Area(10, 10)
+        result = area.reflect(Position(200, -300))
+        assert area.contains(result)
+
+    def test_degenerate_area_rejected(self):
+        with pytest.raises(ValueError):
+            Area(0, 10)
+        with pytest.raises(ValueError):
+            Area(10, -1)
+
+    def test_diagonal(self):
+        assert Area(3, 4).diagonal == 5.0

@@ -1,0 +1,107 @@
+"""Unit tests for the CSMA MAC."""
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.des.random import RandomStream
+from repro.radio.geometry import Position
+from repro.radio.mac import CsmaMac, MacConfig
+from repro.radio.medium import Medium
+from repro.radio.packet import Packet
+from repro.radio.propagation import UnitDisk
+
+
+def setup(positions, config=None):
+    sim = Simulator()
+    medium = Medium(sim, RandomStream(3), UnitDisk())
+    inboxes = {}
+    macs = {}
+    for node_id, (x, y) in positions.items():
+        inboxes[node_id] = []
+        medium.attach(node_id, lambda x=x, y=y: Position(x, y), 100.0,
+                      lambda p, i=node_id: inboxes[i].append(p))
+        macs[node_id] = CsmaMac(sim, medium, node_id, RandomStream(node_id),
+                                config)
+    return sim, medium, macs, inboxes
+
+
+def packet(sender, size=125, kind="data"):
+    return Packet(sender=sender, payload="x", size_bytes=size, kind=kind)
+
+
+def test_single_send_delivered():
+    sim, medium, macs, inboxes = setup({1: (0, 0), 2: (50, 0)})
+    assert macs[1].send(packet(1))
+    sim.run()
+    assert len(inboxes[2]) == 1
+    assert macs[1].stats.sent == 1
+
+
+def test_queue_serializes_sends():
+    sim, medium, macs, inboxes = setup({1: (0, 0), 2: (50, 0)})
+    for _ in range(5):
+        macs[1].send(packet(1))
+    sim.run()
+    assert len(inboxes[2]) == 5
+    assert medium.stats.collisions == 0  # own sends never overlap
+
+
+def test_queue_overflow_drops():
+    config = MacConfig(queue_limit=3)
+    sim, medium, macs, _ = setup({1: (0, 0)}, config)
+    results = [macs[1].send(packet(1)) for _ in range(5)]
+    assert results == [True, True, True, False, False]
+    assert macs[1].stats.dropped_queue_full == 2
+
+
+def test_carrier_sense_defers_until_channel_clear():
+    # Node 2 tries to send while node 1's long packet occupies the air.
+    sim, medium, macs, inboxes = setup({1: (0, 0), 2: (50, 0), 3: (60, 0)})
+    medium.transmit(1, packet(1, size=12500))  # 100 ms airtime
+    macs[2].send(packet(2))
+    sim.run()
+    assert macs[2].stats.busy_samples >= 1
+    assert any(p.sender == 2 for p in inboxes[3])
+
+
+def test_gives_up_after_max_attempts():
+    config = MacConfig(max_attempts=2, backoff_base_s=0.0001,
+                       backoff_cap_s=0.0002, access_jitter_s=0.0001)
+    sim, medium, macs, _ = setup({1: (0, 0), 2: (50, 0)}, config)
+    medium.transmit(1, packet(1, size=125000))  # 1 s airtime blocks node 2
+    macs[2].send(packet(2))
+    sim.run(until=0.5)
+    assert macs[2].stats.dropped_max_attempts == 1
+    assert macs[2].stats.sent == 0
+
+
+def test_queue_length_property():
+    sim, medium, macs, _ = setup({1: (0, 0)})
+    assert macs[1].queue_length == 0
+    macs[1].send(packet(1))
+    macs[1].send(packet(1))
+    assert macs[1].queue_length == 2
+    sim.run()
+    assert macs[1].queue_length == 0
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        MacConfig(max_attempts=0)
+    with pytest.raises(ValueError):
+        MacConfig(queue_limit=0)
+    with pytest.raises(ValueError):
+        MacConfig(backoff_factor=0.5)
+
+
+def test_continues_after_drop():
+    config = MacConfig(max_attempts=1, access_jitter_s=0.0001)
+    sim, medium, macs, inboxes = setup({1: (0, 0), 2: (50, 0)}, config)
+    medium.transmit(1, packet(1, size=1250))  # 10 ms busy window
+    macs[2].send(packet(2, kind="first"))   # dropped: channel busy
+    macs[2].send(packet(2, kind="second"))  # dropped too (same busy window)
+    sim.run(until=0.02)
+    sim.schedule(0.0, lambda: macs[2].send(packet(2, kind="third")))
+    sim.run()
+    kinds = [p.kind for p in inboxes[1]]
+    assert "third" in kinds

@@ -1,0 +1,142 @@
+"""Unit tests for HELLO-based neighbor discovery."""
+
+import pytest
+
+from repro.crypto.keystore import HmacScheme, KeyDirectory
+from repro.des.kernel import Simulator
+from repro.des.random import StreamFactory
+from repro.radio.geometry import Position
+from repro.radio.medium import Medium
+from repro.radio.neighbors import HelloMessage, NeighborService
+from repro.radio.packet import Packet
+from repro.radio.propagation import UnitDisk
+from repro.radio.radio import Radio
+
+
+def build(positions, signed=True, hello_period=1.0, seed=2):
+    sim = Simulator()
+    streams = StreamFactory(seed)
+    medium = Medium(sim, streams.stream("medium"), UnitDisk())
+    directory = KeyDirectory(HmacScheme(seed=b"nbr"))
+    services = {}
+    radios = {}
+    for node_id, (x, y) in positions.items():
+        radio = Radio(sim, medium, node_id, Position(x, y), 100.0,
+                      streams.stream(f"mac{node_id}"))
+        auth = {}
+        if signed:
+            auth = {"signer": directory.issue(node_id),
+                    "directory": directory}
+        service = NeighborService(sim, radio,
+                                  streams.stream(f"hello{node_id}"),
+                                  hello_period=hello_period, **auth)
+        radio.set_receiver(service.handle_packet)
+        services[node_id] = service
+        radios[node_id] = radio
+        service.start()
+    return sim, services, radios, directory
+
+
+def test_mutual_discovery():
+    sim, services, _, _ = build({1: (0, 0), 2: (50, 0)})
+    sim.run(until=3.0)
+    assert services[1].neighbors() == [2]
+    assert services[2].neighbors() == [1]
+
+
+def test_out_of_range_not_discovered():
+    sim, services, _, _ = build({1: (0, 0), 2: (500, 0)})
+    sim.run(until=3.0)
+    assert services[1].neighbors() == []
+
+
+def test_timeout_evicts_departed_neighbor():
+    sim, services, radios, _ = build({1: (0, 0), 2: (50, 0)})
+    sim.run(until=3.0)
+    assert services[1].is_neighbor(2)
+    radios[2].position = Position(500, 0)  # walks away
+    sim.run(until=10.0)
+    assert not services[1].is_neighbor(2)
+
+
+def test_returning_neighbor_rediscovered():
+    sim, services, radios, _ = build({1: (0, 0), 2: (50, 0)})
+    sim.run(until=3.0)
+    radios[2].position = Position(500, 0)
+    sim.run(until=10.0)
+    radios[2].position = Position(50, 0)
+    sim.run(until=13.0)
+    assert services[1].is_neighbor(2)
+
+
+def test_forged_hello_rejected_when_signed():
+    sim, services, radios, directory = build({1: (0, 0), 2: (50, 0)})
+    # Node 2 fabricates a HELLO claiming to be node 9 (no valid signature).
+    forged = HelloMessage(sender=9, seq=1, extras={}, signature=b"junk")
+    radios[2].send(forged, size_bytes=48, kind="hello")
+    sim.run(until=2.0)
+    assert 9 not in services[1].neighbors()
+    assert services[1].bad_signature_count >= 1
+
+
+def test_unsigned_mode_accepts_plain_hellos():
+    sim, services, radios, _ = build({1: (0, 0), 2: (50, 0)}, signed=False)
+    sim.run(until=3.0)
+    assert services[1].neighbors() == [2]
+
+
+def test_extras_roundtrip():
+    sim, services, _, _ = build({1: (0, 0), 2: (50, 0)})
+    received = []
+    services[1].add_listener(lambda sender, extras:
+                             received.append((sender, extras)))
+    services[2].add_extras_provider(lambda: {"k": (1, 2, 3)})
+    sim.run(until=3.0)
+    assert any(sender == 2 and extras.get("k") == (1, 2, 3)
+               for sender, extras in received)
+
+
+def test_multiple_providers_merge():
+    sim, services, _, _ = build({1: (0, 0), 2: (50, 0)})
+    received = []
+    services[1].add_listener(lambda s, e: received.append(e))
+    services[2].add_extras_provider(lambda: {"a": 1})
+    services[2].add_extras_provider(lambda: {"b": 2})
+    sim.run(until=3.0)
+    assert any(e.get("a") == 1 and e.get("b") == 2 for e in received)
+
+
+def test_last_seen_and_forget():
+    sim, services, _, _ = build({1: (0, 0), 2: (50, 0)})
+    sim.run(until=3.0)
+    assert services[1].last_seen(2) is not None
+    services[1].forget(2)
+    assert services[1].last_seen(2) is None
+
+
+def test_handle_packet_ignores_non_hello():
+    sim, services, _, _ = build({1: (0, 0)})
+    other = Packet(sender=5, payload="not a hello", size_bytes=10)
+    assert services[1].handle_packet(other) is False
+
+
+def test_signer_without_directory_rejected():
+    sim = Simulator()
+    streams = StreamFactory(1)
+    medium = Medium(sim, streams.stream("m"), UnitDisk())
+    radio = Radio(sim, medium, 1, Position(0, 0), 100.0,
+                  streams.stream("mac"))
+    directory = KeyDirectory(HmacScheme(seed=b"x"))
+    signer = directory.issue(1)
+    with pytest.raises(ValueError):
+        NeighborService(sim, radio, streams.stream("h"), signer=signer)
+
+
+def test_invalid_period_rejected():
+    sim = Simulator()
+    streams = StreamFactory(1)
+    medium = Medium(sim, streams.stream("m"), UnitDisk())
+    radio = Radio(sim, medium, 1, Position(0, 0), 100.0,
+                  streams.stream("mac"))
+    with pytest.raises(ValueError):
+        NeighborService(sim, radio, streams.stream("h"), hello_period=0)

@@ -1,0 +1,97 @@
+"""Unit tests for packets and propagation models."""
+
+import pytest
+
+from repro.des.random import RandomStream
+from repro.radio.packet import BROADCAST, Packet
+from repro.radio.propagation import LogNormalShadowing, UnitDisk
+
+
+class TestPacket:
+    def test_airtime(self):
+        p = Packet(sender=1, payload=None, size_bytes=1250)
+        assert p.airtime(1_000_000.0) == pytest.approx(0.01)
+
+    def test_airtime_with_preamble(self):
+        p = Packet(sender=1, payload=None, size_bytes=1250)
+        assert p.airtime(1_000_000.0, preamble_s=0.001) == pytest.approx(0.011)
+
+    def test_broadcast_default(self):
+        p = Packet(sender=1, payload=None, size_bytes=10)
+        assert p.is_link_broadcast
+        assert p.link_dest == BROADCAST
+
+    def test_link_dest(self):
+        p = Packet(sender=1, payload=None, size_bytes=10, link_dest=7)
+        assert not p.is_link_broadcast
+
+    def test_unique_packet_ids(self):
+        a = Packet(sender=1, payload=None, size_bytes=10)
+        b = Packet(sender=1, payload=None, size_bytes=10)
+        assert a.packet_id != b.packet_id
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(sender=1, payload=None, size_bytes=0)
+
+
+class TestUnitDisk:
+    def test_inside_always_succeeds(self):
+        model = UnitDisk()
+        rng = RandomStream(1)
+        assert all(model.reception_succeeds(d, 100.0, rng)
+                   for d in (0.0, 50.0, 99.9))
+
+    def test_boundary_and_outside_fail(self):
+        model = UnitDisk()
+        rng = RandomStream(1)
+        assert not model.reception_succeeds(100.0, 100.0, rng)
+        assert not model.reception_succeeds(150.0, 100.0, rng)
+
+    def test_max_reach_equals_range(self):
+        assert UnitDisk().max_reach(100.0) == 100.0
+
+    def test_interferes_inside_reach(self):
+        model = UnitDisk()
+        assert model.interferes(50.0, 100.0)
+        assert not model.interferes(150.0, 100.0)
+
+
+class TestLogNormalShadowing:
+    def test_zero_sigma_zero_loss_matches_disk(self):
+        model = LogNormalShadowing(sigma=0.0, background_loss=0.0)
+        rng = RandomStream(1)
+        assert model.reception_succeeds(99.0, 100.0, rng)
+        assert not model.reception_succeeds(101.0, 100.0, rng)
+
+    def test_background_loss_one_always_fails(self):
+        model = LogNormalShadowing(sigma=0.0, background_loss=1.0 - 1e-12)
+        rng = RandomStream(1)
+        assert not any(model.reception_succeeds(10.0, 100.0, rng)
+                       for _ in range(50))
+
+    def test_max_reach_scaled(self):
+        model = LogNormalShadowing(reach_factor=1.5)
+        assert model.max_reach(100.0) == 150.0
+
+    def test_no_reception_beyond_max_reach(self):
+        model = LogNormalShadowing(sigma=2.0, reach_factor=1.5,
+                                   background_loss=0.0)
+        rng = RandomStream(1)
+        assert not any(model.reception_succeeds(151.0, 100.0, rng)
+                       for _ in range(200))
+
+    def test_fading_sometimes_fails_inside_range(self):
+        model = LogNormalShadowing(sigma=0.5, background_loss=0.0)
+        rng = RandomStream(1)
+        outcomes = {model.reception_succeeds(95.0, 100.0, rng)
+                    for _ in range(300)}
+        assert outcomes == {True, False}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalShadowing(sigma=-1.0)
+        with pytest.raises(ValueError):
+            LogNormalShadowing(background_loss=1.0)
+        with pytest.raises(ValueError):
+            LogNormalShadowing(reach_factor=0.5)

@@ -1,0 +1,105 @@
+"""Unit tests for per-source FIFO ordering and gap handling."""
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.reliable.ordering import FifoDeliveryQueue, GapPolicy
+
+
+def make(gap_policy=GapPolicy.STALL, gap_timeout=5.0):
+    sim = Simulator()
+    delivered = []
+    gaps = []
+    queue = FifoDeliveryQueue(
+        sim, lambda source, seq, payload: delivered.append((source, seq)),
+        gap_policy=gap_policy, gap_timeout=gap_timeout,
+        on_gap=lambda source, seq: gaps.append((source, seq)))
+    return sim, queue, delivered, gaps
+
+
+class TestInOrder:
+    def test_sequential_delivery(self):
+        _, queue, delivered, _ = make()
+        for seq in (1, 2, 3):
+            queue.offer(7, seq, b"x")
+        assert delivered == [(7, 1), (7, 2), (7, 3)]
+
+    def test_out_of_order_buffered_then_drained(self):
+        _, queue, delivered, _ = make()
+        queue.offer(7, 3, b"x")
+        queue.offer(7, 2, b"x")
+        assert delivered == []
+        assert queue.pending_count(7) == 2
+        queue.offer(7, 1, b"x")
+        assert delivered == [(7, 1), (7, 2), (7, 3)]
+        assert queue.pending_count(7) == 0
+
+    def test_duplicates_ignored(self):
+        _, queue, delivered, _ = make()
+        queue.offer(7, 1, b"x")
+        queue.offer(7, 1, b"x")
+        queue.offer(7, 2, b"x")
+        queue.offer(7, 2, b"x")
+        assert delivered == [(7, 1), (7, 2)]
+
+    def test_sources_independent(self):
+        _, queue, delivered, _ = make()
+        queue.offer(1, 1, b"x")
+        queue.offer(2, 2, b"x")   # source 2 waits for its seq 1
+        queue.offer(2, 1, b"x")
+        assert delivered == [(1, 1), (2, 1), (2, 2)]
+
+    def test_ack_vector_tracks_contiguous(self):
+        _, queue, _, _ = make()
+        queue.offer(1, 1, b"x")
+        queue.offer(1, 2, b"x")
+        queue.offer(1, 4, b"x")   # hole at 3
+        queue.offer(2, 1, b"x")
+        assert queue.ack_vector() == {1: 2, 2: 1}
+        assert queue.highest_contiguous(1) == 2
+        assert queue.highest_contiguous(9) == 0
+
+    def test_delivered_counter(self):
+        _, queue, _, _ = make()
+        for seq in (1, 2):
+            queue.offer(1, seq, b"x")
+        assert queue.delivered == 2
+
+
+class TestGapPolicies:
+    def test_stall_holds_forever(self):
+        sim, queue, delivered, gaps = make(GapPolicy.STALL)
+        queue.offer(7, 2, b"x")  # seq 1 missing
+        sim.run(until=100.0)
+        assert delivered == []
+        assert gaps == []
+
+    def test_skip_after_timeout(self):
+        sim, queue, delivered, gaps = make(GapPolicy.SKIP, gap_timeout=5.0)
+        queue.offer(7, 2, b"x")
+        sim.run(until=4.0)
+        assert delivered == []
+        sim.run(until=6.0)
+        assert gaps == [(7, 1)]
+        assert delivered == [(7, 2)]
+        assert queue.skipped == 1
+
+    def test_gap_filled_before_timeout_not_skipped(self):
+        sim, queue, delivered, gaps = make(GapPolicy.SKIP, gap_timeout=5.0)
+        queue.offer(7, 2, b"x")
+        sim.schedule(2.0, lambda: queue.offer(7, 1, b"x"))
+        sim.run(until=10.0)
+        assert gaps == []
+        assert delivered == [(7, 1), (7, 2)]
+
+    def test_multiple_consecutive_gaps_skipped(self):
+        sim, queue, delivered, gaps = make(GapPolicy.SKIP, gap_timeout=2.0)
+        queue.offer(7, 4, b"x")   # 1, 2, 3 all missing
+        sim.run(until=10.0)
+        assert delivered == [(7, 4)]
+        assert gaps == [(7, 1), (7, 2), (7, 3)]
+
+    def test_invalid_timeout(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FifoDeliveryQueue(sim, lambda *a: None, gap_timeout=0)

@@ -1,0 +1,120 @@
+"""Tests for the trace recorder."""
+
+import json
+
+import pytest
+
+from repro.adversary.behaviors import MuteBehavior
+from repro.tracing.recorder import TraceRecorder
+
+from tests.helpers import build_network, line_coords
+
+
+def traced_network(coords, behaviors=None, categories=None, capacity=None):
+    sim, medium, nodes, _ = build_network(coords, 100.0,
+                                          behaviors=behaviors)
+    recorder = TraceRecorder(sim, categories=categories, capacity=capacity)
+    recorder.attach_network(medium, nodes)
+    return sim, nodes, recorder
+
+
+class TestRecording:
+    def test_physical_events_recorded(self):
+        sim, nodes, recorder = traced_network(line_coords(3, 80.0))
+        sim.run(until=5.0)
+        counts = recorder.counts()
+        assert counts.get("tx", 0) > 0
+        assert counts.get("rx", 0) > 0
+
+    def test_accept_events_carry_details(self):
+        sim, nodes, recorder = traced_network(line_coords(3, 80.0))
+        sim.run(until=8.0)
+        nodes[0].broadcast(b"traced")
+        sim.run(until=sim.now + 10.0)
+        accepts = recorder.select(category="accept")
+        assert accepts
+        assert all(e.details["originator"] == 0 for e in accepts)
+        assert {e.node for e in accepts} == {1, 2}
+
+    def test_suspect_events_on_mute_attack(self):
+        positions = [(0.0, 0.0), (80.0, 30.0), (80.0, -30.0), (160.0, 0.0)]
+        sim, nodes, recorder = traced_network(
+            positions, behaviors={2: MuteBehavior()})
+        sim.run(until=8.0)
+        for i in range(8):
+            nodes[0].broadcast(f"p{i}".encode())
+            sim.run(until=sim.now + 3.0)
+        suspects = recorder.select(category="suspect")
+        assert any(e.details["target"] == 2 for e in suspects)
+
+    def test_overlay_status_flips_recorded(self):
+        sim, nodes, recorder = traced_network(line_coords(4, 80.0))
+        sim.run(until=10.0)
+        flips = recorder.select(category="overlay")
+        assert flips  # somebody elected itself during convergence
+
+    def test_event_ordering_monotone(self):
+        sim, nodes, recorder = traced_network(line_coords(3, 80.0))
+        sim.run(until=5.0)
+        times = [event.time for event in recorder.events]
+        assert times == sorted(times)
+
+
+class TestFilteringAndQuerying:
+    def test_category_filter(self):
+        sim, nodes, recorder = traced_network(line_coords(3, 80.0),
+                                              categories=["accept"])
+        sim.run(until=8.0)
+        nodes[0].broadcast(b"x")
+        sim.run(until=sim.now + 8.0)
+        assert set(recorder.counts()) <= {"accept"}
+
+    def test_unknown_category_rejected(self):
+        sim, nodes, _ = traced_network(line_coords(2, 80.0))
+        with pytest.raises(ValueError):
+            TraceRecorder(sim, categories=["quantum"])
+
+    def test_select_by_node_and_window(self):
+        sim, nodes, recorder = traced_network(line_coords(3, 80.0))
+        sim.run(until=6.0)
+        node1_events = recorder.select(node=1)
+        assert node1_events
+        assert all(e.node == 1 for e in node1_events)
+        early = recorder.select(until=2.0)
+        assert all(e.time <= 2.0 for e in early)
+
+    def test_first_with_match(self):
+        sim, nodes, recorder = traced_network(line_coords(3, 80.0))
+        sim.run(until=8.0)
+        nodes[0].broadcast(b"x")
+        sim.run(until=sim.now + 8.0)
+        event = recorder.first("accept", originator=0)
+        assert event is not None
+        assert event.details["seq"] == 1
+        assert recorder.first("accept", originator=99) is None
+
+    def test_capacity_bound(self):
+        sim, nodes, recorder = traced_network(line_coords(3, 80.0),
+                                              capacity=10)
+        sim.run(until=20.0)
+        assert len(recorder.events) == 10
+        assert recorder.dropped > 0
+
+    def test_clear(self):
+        sim, nodes, recorder = traced_network(line_coords(2, 80.0))
+        sim.run(until=3.0)
+        recorder.clear()
+        assert recorder.events == []
+        assert recorder.dropped == 0
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tmp_path):
+        sim, nodes, recorder = traced_network(line_coords(3, 80.0))
+        sim.run(until=5.0)
+        path = tmp_path / "trace.jsonl"
+        count = recorder.to_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == count == len(recorder.events)
+        parsed = json.loads(lines[0])
+        assert {"time", "category", "node"} <= set(parsed)
