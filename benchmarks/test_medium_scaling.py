@@ -1,0 +1,79 @@
+"""Medium-scaling micro-benchmark: spatial grid vs all-radios scan.
+
+Isolates the physical layer: n radios uniformly placed at paper density,
+a fixed batch of transmissions resolved to completion, timed with the
+grid index on (the default) and off (the seed's brute-force scan).  The
+grid must deliver >= 3x at n=500 while producing identical MediumStats —
+the before/after record lands in ``benchmarks/results/``.
+"""
+
+import random
+import time
+
+from repro.des.kernel import Simulator
+from repro.des.random import RandomStream
+from repro.radio.geometry import Position
+from repro.radio.medium import Medium
+from repro.radio.packet import Packet
+from repro.radio.propagation import UnitDisk
+from repro.workloads.scenarios import area_side_for_degree
+
+from common import emit, once
+
+NS = (100, 250, 500)
+TX_RANGE = 100.0
+TARGET_DEGREE = 8.0
+TRANSMISSIONS = 400
+
+
+def run_physics(n, use_grid, seed=1):
+    """Resolve a fixed transmission batch; return (seconds, stats)."""
+    rng = random.Random(seed)
+    side = area_side_for_degree(n, TX_RANGE, TARGET_DEGREE)
+    sim = Simulator()
+    medium = Medium(sim, RandomStream(seed), UnitDisk(),
+                    use_grid=use_grid)
+    positions = [Position(rng.uniform(0, side), rng.uniform(0, side))
+                 for _ in range(n)]
+    for i in range(n):
+        medium.attach(i, (lambda i=i: positions[i]), TX_RANGE,
+                      lambda packet: None)
+    t = 0.0
+    for _ in range(TRANSMISSIONS):
+        t += rng.uniform(0.0, 0.01)
+        sim.schedule_at(t, medium.transmit, rng.randrange(n),
+                        Packet(sender=0, payload=None, size_bytes=125,
+                               kind="data"))
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start, medium.stats
+
+
+def run_comparison():
+    rows = []
+    for n in NS:
+        grid_s, grid_stats = run_physics(n, use_grid=True)
+        brute_s, brute_stats = run_physics(n, use_grid=False)
+        assert grid_stats == brute_stats  # same physics, bit for bit
+        rows.append({
+            "n": n,
+            "grid_ms": round(grid_s * 1e3, 1),
+            "scan_ms": round(brute_s * 1e3, 1),
+            "speedup": round(brute_s / grid_s, 2),
+            "deliveries": grid_stats.deliveries,
+            "collisions": grid_stats.collisions,
+        })
+    return rows
+
+
+def test_medium_scaling(benchmark):
+    rows = once(benchmark, run_comparison)
+    emit("medium_scaling",
+         "Medium scaling: spatial grid vs all-radios scan "
+         f"({TRANSMISSIONS} transmissions, degree {TARGET_DEGREE:.0f})",
+         rows)
+    by_n = {row["n"]: row for row in rows}
+    # Acceptance: >= 3x at n=500 over the seed's O(n) scan.
+    assert by_n[500]["speedup"] >= 3.0
+    # The win must grow with n (that's the whole point of the index).
+    assert by_n[500]["speedup"] > by_n[100]["speedup"]

@@ -20,6 +20,7 @@ from .sim.experiment import (
     PROTOCOLS,
     ExperimentConfig,
     run_experiment,
+    run_many,
 )
 from .sim.render import format_rows
 from .sim.sweeps import run_sweep
@@ -47,6 +48,17 @@ _EXPERIMENTS = (
     ("A5", "line-29 discrepancy", "test_a5_line29_discrepancy.py"),
     ("A6", "timeout vs stability purging", "test_a6_stability_purge.py"),
 )
+
+
+def _worker_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"need at least one worker, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,6 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser("compare",
                            help="run every protocol on one scenario")
     add_scenario_args(cmp_p)
+    cmp_p.add_argument("--workers", type=_worker_count, default=1,
+                       help="worker processes (results identical to "
+                            "serial; default 1)")
 
     sweep_p = sub.add_parser("sweep", help="sweep one parameter")
     add_scenario_args(sweep_p)
@@ -96,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated values, e.g. 20,40,60")
     sweep_p.add_argument("--seeds", default="1,2",
                          help="comma-separated seeds (default 1,2)")
+    sweep_p.add_argument("--workers", type=_worker_count, default=1,
+                         help="worker processes for the parameter × seed "
+                              "grid (results identical to serial; "
+                              "default 1)")
 
     sub.add_parser("experiments",
                    help="list the reconstructed paper experiments")
@@ -169,12 +188,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 0
 
     if args.command == "compare":
-        rows = []
-        for protocol in PROTOCOLS:
-            result = run_experiment(_config_from(
-                args, protocol, _scenario_from(args)))
-            rows.append(result.row())
-        print(format_rows(rows), file=out)
+        configs = [_config_from(args, protocol, _scenario_from(args))
+                   for protocol in PROTOCOLS]
+        results = run_many(configs, workers=args.workers)
+        print(format_rows([result.row() for result in results]), file=out)
         return 0
 
     if args.command == "sweep":
@@ -188,7 +205,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
                 scenario = _scenario_from(args, mute=value)
             return _config_from(args, args.protocol, scenario)
 
-        points = run_sweep(values, make_config, seeds=seeds)
+        points = run_sweep(values, make_config, seeds=seeds,
+                           workers=args.workers)
         rows = []
         for point in points:
             row = point.result.row()

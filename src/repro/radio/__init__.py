@@ -2,6 +2,7 @@
 
 from .energy import EnergyConfig, EnergyMeter, EnergyModel
 from .geometry import Area, Position
+from .grid import SpatialHashGrid
 from .mac import CsmaMac, MacConfig, MacStats
 from .medium import Medium, MediumObserver, MediumStats, Transmission
 from .neighbors import HelloMessage, NeighborService
@@ -28,6 +29,7 @@ __all__ = [
     "Position",
     "PropagationModel",
     "Radio",
+    "SpatialHashGrid",
     "Transmission",
     "UnitDisk",
 ]

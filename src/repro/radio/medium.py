@@ -19,11 +19,12 @@ between attached radios and reports events to observers (metrics).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..des.kernel import Simulator
 from ..des.random import RandomStream
 from .geometry import Position
+from .grid import SpatialHashGrid
 from .packet import Packet
 from .propagation import PropagationModel, UnitDisk
 
@@ -43,6 +44,15 @@ class Transmission:
     completed: bool = False
 
     def overlaps(self, other: "Transmission") -> bool:
+        """True iff the two airtimes intersect for a positive duration.
+
+        Airtimes are half-open intervals ``[start, end)``: a transmission
+        that ends exactly when another starts does **not** overlap it.
+        Back-to-back packets are the normal case on a CSMA channel (a
+        deferring node fires the instant the medium frees up), and zero
+        shared airtime deposits zero interference energy, so touching
+        endpoints must not count as a collision.
+        """
         return self.start < other.end and other.start < self.end
 
 
@@ -93,12 +103,35 @@ class _AttachedRadio:
 
 
 class Medium:
-    """The single shared broadcast channel of the ad-hoc network."""
+    """The single shared broadcast channel of the ad-hoc network.
+
+    Candidate receivers are enumerated through a :class:`SpatialHashGrid`
+    (cell size = the largest attached radio's maximum reach), so reception
+    resolution costs O(neighborhood) instead of O(n).  The grid is a pure
+    index: every candidate is still distance-checked against its live
+    position, and candidates are visited in ascending node-id order, so a
+    grid-indexed medium is bit-for-bit identical to a brute-force one
+    (``use_grid=False``) — the equivalence test suite pins this.
+
+    Positions are kept in sync two ways: :meth:`update_position` (called by
+    ``Radio``'s position setter, i.e. by every mobility model), and
+    opportunistic re-sync whenever the medium itself polls a radio's
+    position.  Code that attaches bare callables and mutates the underlying
+    position out-of-band must call :meth:`update_position` for moves that
+    bring a radio *into* someone's range; stale positions can only produce
+    false candidates (filtered by the distance check), never misses, for
+    radios that move away.
+    """
+
+    #: Class-level default for the ``use_grid`` constructor argument —
+    #: lets tests flip every medium in a run to the brute-force scan.
+    DEFAULT_USE_GRID = True
 
     def __init__(self, sim: Simulator, rng: RandomStream,
                  propagation: Optional[PropagationModel] = None,
                  bitrate_bps: float = 1_000_000.0,
-                 preamble_s: float = 192e-6):
+                 preamble_s: float = 192e-6,
+                 use_grid: Optional[bool] = None):
         if bitrate_bps <= 0:
             raise ValueError(f"bitrate must be positive: {bitrate_bps}")
         self._sim = sim
@@ -110,6 +143,9 @@ class Medium:
         self._transmissions: List[Transmission] = []
         self.stats = MediumStats()
         self._observers: List[MediumObserver] = []
+        self._use_grid = (Medium.DEFAULT_USE_GRID if use_grid is None
+                          else use_grid)
+        self._grid: Optional[SpatialHashGrid] = None
 
     # ------------------------------------------------------------------
     # Attachment
@@ -124,9 +160,27 @@ class Medium:
             raise ValueError(f"tx_range must be positive: {tx_range}")
         self._radios[node_id] = _AttachedRadio(
             node_id, get_position, tx_range, handler)
+        if self._use_grid:
+            reach = self._propagation.max_reach(tx_range)
+            if self._grid is None:
+                self._grid = SpatialHashGrid(reach)
+            elif reach > self._grid.cell_size:
+                # Cell size must stay >= every radio's reach so a disk
+                # query touches at most a 3x3 cell block; grow by rebuild.
+                self._grid = self._grid.rebuilt(reach)
+            self._grid.insert(node_id, get_position())
 
     def detach(self, node_id: int) -> None:
         self._radios.pop(node_id, None)
+        if self._grid is not None:
+            self._grid.remove(node_id)
+
+    def update_position(self, node_id: int, position: Position) -> None:
+        """Re-index a radio after a move (mobility models call this via
+        ``Radio.position``).  Unknown ids are ignored so detach races and
+        pre-attach construction orders stay harmless."""
+        if self._grid is not None and node_id in self._radios:
+            self._grid.move(node_id, position)
 
     def set_enabled(self, node_id: int, enabled: bool) -> None:
         """Power a radio on/off (crashed nodes neither send nor receive)."""
@@ -155,6 +209,7 @@ class Medium:
         radio = self._radios[node_id]
         now = self._sim.now
         position = radio.get_position()
+        self.update_position(node_id, position)
         for tx in self._transmissions:
             if tx.end <= now:
                 continue
@@ -180,9 +235,11 @@ class Medium:
                 sender=node_id, origin=radio.get_position(), start=now,
                 end=now + self.airtime(packet), packet=packet,
                 tx_range=radio.tx_range, completed=True)
+        origin = radio.get_position()
+        self.update_position(node_id, origin)
         tx = Transmission(
             sender=node_id,
-            origin=radio.get_position(),
+            origin=origin,
             start=now,
             end=now + self.airtime(packet),
             packet=packet,
@@ -200,15 +257,32 @@ class Medium:
     # ------------------------------------------------------------------
     def _complete(self, tx: Transmission) -> None:
         tx.completed = True
-        for radio in list(self._radios.values()):
-            if radio.node_id == tx.sender or not radio.enabled:
+        radios = self._radios
+        for node_id in self._candidate_ids(tx):
+            radio = radios.get(node_id)
+            if radio is None or node_id == tx.sender or not radio.enabled:
                 continue
             self._resolve_reception(tx, radio)
         self._prune()
 
+    def _candidate_ids(self, tx: Transmission) -> Sequence[int]:
+        """Node ids that could possibly hear ``tx``, ascending.
+
+        Grid path: a superset query around the transmission origin (the
+        per-candidate distance check in :meth:`_resolve_reception` rejects
+        false positives before any RNG draw).  Brute-force path: every
+        attached radio.  Both are sorted by node id so delivery order is
+        independent of attach order and of the indexing strategy.
+        """
+        if self._grid is not None:
+            return self._grid.candidates(
+                tx.origin, self._propagation.max_reach(tx.tx_range))
+        return sorted(self._radios)
+
     def _resolve_reception(self, tx: Transmission,
                            radio: _AttachedRadio) -> None:
         position = radio.get_position()
+        self.update_position(radio.node_id, position)
         distance = tx.origin.distance_to(position)
         if distance >= self._propagation.max_reach(tx.tx_range):
             return

@@ -47,6 +47,9 @@ class Radio:
     @position.setter
     def position(self, value: Position) -> None:
         self._position = value
+        # Keep the medium's spatial index in sync: every mobility model
+        # moves nodes through this setter.
+        self._medium.update_position(self._node_id, value)
 
     @property
     def tx_range(self) -> float:

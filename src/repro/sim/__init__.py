@@ -6,6 +6,7 @@ from .experiment import (
     ExperimentConfig,
     ExperimentResult,
     run_experiment,
+    run_many,
 )
 from .network import Network, NetworkBuilder
 from .plots import bar_chart, series_chart, spark_line
@@ -28,6 +29,7 @@ __all__ = [
     "config_key",
     "result_to_record",
     "run_experiment",
+    "run_many",
     "run_sweep",
     "series_chart",
     "spark_line",

@@ -5,6 +5,13 @@ configuration, keyed by a content hash of the configuration).  Re-running
 a campaign skips configurations whose results already exist, so a large
 evaluation can be built up incrementally across interrupted sessions —
 the workflow a full paper evaluation actually needs.
+
+``Campaign.run(configs, workers=N)`` executes the pending configurations
+across ``N`` worker processes.  Records are computed in the workers but
+always serialized and written by the parent (single writer, atomic
+rename), and each simulation is self-seeded, so a parallel campaign's
+record files are byte-identical to a serial run's — resume/skip semantics
+are unchanged because both paths key on the same content hashes.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import os
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -62,6 +70,17 @@ def result_to_record(config: ExperimentConfig,
     }
 
 
+def _run_record(task: Tuple[str, ExperimentConfig]
+                ) -> Tuple[str, Dict[str, Any]]:
+    """Worker-process task body: run one config, build its record.
+
+    Module-level (not a method) so it pickles under every multiprocessing
+    start method.
+    """
+    key, config = task
+    return key, result_to_record(config, run_experiment(config))
+
+
 class Campaign:
     """A persisted collection of experiment runs."""
 
@@ -100,30 +119,58 @@ class Campaign:
     # ------------------------------------------------------------------
     def run(self, configs: Iterable[ExperimentConfig], *,
             force: bool = False,
-            progress: Optional[Callable[[str], None]] = None
-            ) -> Tuple[int, int]:
+            progress: Optional[Callable[[str], None]] = None,
+            workers: int = 1) -> Tuple[int, int]:
         """Run every configuration not yet persisted.
 
-        Returns ``(executed, skipped)``.
+        With ``workers > 1`` the pending configurations are distributed
+        over a process pool; record content is byte-identical to a serial
+        run (simulations are self-seeded, files are written only by this
+        process).  Returns ``(executed, skipped)``.
         """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
         executed = skipped = 0
+        pending: List[Tuple[str, ExperimentConfig]] = []
+        claimed = set()
         for config in configs:
             key = config_key(config)
-            path = self._path(key)
-            if not force and os.path.exists(path):
+            done = os.path.exists(self._path(key)) or key in claimed
+            if not force and done:
                 skipped += 1
                 continue
-            if progress is not None:
+            claimed.add(key)
+            pending.append((key, config))
+        if workers == 1 or len(pending) <= 1:
+            for key, config in pending:
+                if progress is not None:
+                    progress(
+                        f"running {config.protocol} n={config.scenario.n} "
+                        f"seed={config.scenario.seed} [{key}]")
+                self._write(key, result_to_record(config,
+                                                  run_experiment(config)))
+                executed += 1
+            return executed, skipped
+        if progress is not None:
+            for key, config in pending:
                 progress(f"running {config.protocol} n={config.scenario.n} "
                          f"seed={config.scenario.seed} [{key}]")
-            result = run_experiment(config)
-            record = result_to_record(config, result)
-            tmp = path + ".tmp"
-            with open(tmp, "w") as handle:
-                json.dump(record, handle, indent=1)
-            os.replace(tmp, path)
-            executed += 1
+        pool_size = min(workers, len(pending))
+        with multiprocessing.Pool(processes=pool_size) as pool:
+            for key, record in pool.imap_unordered(_run_record, pending):
+                self._write(key, record)
+                if progress is not None:
+                    progress(f"finished [{key}]")
+                executed += 1
         return executed, skipped
+
+    def _write(self, key: str, record: Dict[str, Any]) -> None:
+        """Atomically persist one record (write-temp + rename)."""
+        path = self._path(key)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(record, handle, indent=1)
+        os.replace(tmp, path)
 
     # ------------------------------------------------------------------
     def rows(self, *fields: str) -> List[Dict[str, Any]]:

@@ -17,6 +17,7 @@ Protocols:
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
@@ -50,7 +51,7 @@ from ..workloads.scenarios import ScenarioConfig
 from ..workloads.sources import BroadcastEvent, periodic_source
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment",
-           "PROTOCOLS"]
+           "run_many", "PROTOCOLS"]
 
 PROTOCOLS = ("byzcast", "flooding", "overlay_only", "multi_overlay")
 
@@ -215,6 +216,25 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         overlay_quality=overlay_quality,
         sim_time=sim.now,
     )
+
+
+def run_many(configs: Sequence[ExperimentConfig],
+             workers: int = 1) -> List[ExperimentResult]:
+    """Run several experiments, optionally across worker processes.
+
+    Every simulation is fully self-seeded (all randomness flows from
+    ``config.scenario.seed`` through named streams), so each task is
+    independent and the result list is identical — element for element —
+    whether it was computed serially or by ``workers`` processes.  Results
+    come back in input order.
+    """
+    configs = list(configs)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    if workers == 1 or len(configs) <= 1:
+        return [run_experiment(config) for config in configs]
+    with multiprocessing.Pool(processes=min(workers, len(configs))) as pool:
+        return pool.map(run_experiment, configs, chunksize=1)
 
 
 # ----------------------------------------------------------------------

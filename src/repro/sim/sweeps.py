@@ -11,7 +11,12 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..workloads.scenarios import ScenarioConfig
-from .experiment import ExperimentConfig, ExperimentResult, run_experiment
+from .experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    run_many,
+)
 
 __all__ = ["SweepPoint", "run_sweep", "average_results"]
 
@@ -28,12 +33,36 @@ class SweepPoint:
 def run_sweep(parameters: Sequence[object],
               make_config: Callable[[object], ExperimentConfig],
               seeds: Sequence[int] = (1,),
-              progress: Optional[Callable[[str], None]] = None
-              ) -> List[SweepPoint]:
+              progress: Optional[Callable[[str], None]] = None,
+              workers: int = 1) -> List[SweepPoint]:
     """Run ``make_config(parameter)`` for every parameter × seed.
 
     Each parameter's results across seeds are averaged into one point.
+    With ``workers > 1`` the parameter × seed grid is flattened into one
+    task list and executed by a process pool (each simulation is
+    self-seeded, so the averaged points are identical to a serial run).
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    if workers > 1:
+        tasks: List[ExperimentConfig] = []
+        for parameter in parameters:
+            for seed in seeds:
+                config = make_config(parameter)
+                config = replace(
+                    config, scenario=config.scenario.with_seed(seed))
+                if progress is not None:
+                    progress(f"running {config.protocol} "
+                             f"param={parameter!r} seed={seed}")
+                tasks.append(config)
+        flat = run_many(tasks, workers=workers)
+        points = []
+        for index, parameter in enumerate(parameters):
+            group = flat[index * len(seeds):(index + 1) * len(seeds)]
+            points.append(SweepPoint(parameter=parameter,
+                                     result=average_results(group),
+                                     replicates=len(group)))
+        return points
     points: List[SweepPoint] = []
     for parameter in parameters:
         results: List[ExperimentResult] = []

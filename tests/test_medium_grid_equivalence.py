@@ -1,0 +1,190 @@
+"""Grid-vs-brute-force equivalence suite for the wireless medium.
+
+The spatial hash grid (`repro.radio.grid`) replaces the medium's
+all-radios scan with a cell query.  That is only an optimisation if it is
+*invisible*: every scenario must produce bit-for-bit identical physical
+events, stats, and RNG consumption whether the grid is on or off.  This
+suite pins that guarantee over seeded random placements, mobility traces,
+and collision-heavy workloads (> 20 scenarios total).
+
+The scenarios drive the medium directly (raw ``attach`` / ``transmit`` /
+``update_position``) so the comparison covers the exact layer the grid
+changed; a final set of tests re-runs the full experiment stack with the
+grid globally disabled and compares whole ``ExperimentResult`` objects.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.des.random import RandomStream
+from repro.radio.geometry import Position
+from repro.radio.medium import Medium, MediumObserver
+from repro.radio.packet import Packet
+from repro.radio.propagation import LogNormalShadowing, UnitDisk
+from repro.sim.experiment import ExperimentConfig, run_experiment
+from repro.workloads.scenarios import AdversaryMix, ScenarioConfig
+
+SIDE = 600.0
+
+
+def _scenario_events(seed, n, *, heavy, mobile):
+    """Deterministically pre-generate one scenario: positions, ranges,
+    transmissions, and mobility waypoints (so both runs see identical
+    inputs regardless of execution order)."""
+    rng = random.Random(seed)
+    positions = {i: Position(rng.uniform(0.0, SIDE), rng.uniform(0.0, SIDE))
+                 for i in range(n)}
+    ranges = {i: rng.uniform(60.0, 160.0) for i in range(n)}
+    transmissions = []
+    t = 0.0
+    count = 150 if heavy else 60
+    for _ in range(count):
+        # Heavy mode packs sends inside one airtime so collisions and
+        # half-duplex losses dominate.
+        t += rng.uniform(0.0, 0.0008 if heavy else 0.01)
+        transmissions.append((t, rng.randrange(n), rng.randint(20, 400)))
+    moves = []
+    if mobile:
+        for step in range(1, 25):
+            when = step * 0.025
+            for _ in range(max(1, n // 4)):
+                moves.append((when, rng.randrange(n),
+                              Position(rng.uniform(0.0, SIDE),
+                                       rng.uniform(0.0, SIDE))))
+    return positions, ranges, transmissions, moves
+
+
+def run_scenario(seed, use_grid, *, n=30, heavy=False, mobile=False,
+                 shadowing=False):
+    """Run one generated scenario; return (event log, stats)."""
+    positions, ranges, transmissions, moves = _scenario_events(
+        seed, n, heavy=heavy, mobile=mobile)
+    sim = Simulator()
+    propagation = (LogNormalShadowing(sigma=0.25, background_loss=0.05)
+                   if shadowing else UnitDisk())
+    medium = Medium(sim, RandomStream(seed), propagation, use_grid=use_grid)
+    log = []
+
+    class Recorder(MediumObserver):
+        def on_transmit(self, sender, packet):
+            log.append(("tx", sim.now, sender))
+
+        def on_deliver(self, receiver, packet):
+            log.append(("rx", sim.now, receiver, packet.sender))
+
+        def on_collision(self, receiver, packet):
+            log.append(("col", sim.now, receiver, packet.sender))
+
+    medium.add_observer(Recorder())
+    for i in range(n):
+        medium.attach(i, (lambda i=i: positions[i]), ranges[i],
+                      (lambda packet, i=i:
+                       log.append(("handler", sim.now, i, packet.sender))))
+
+    def send(sender, size):
+        medium.transmit(sender, Packet(sender=sender, payload=None,
+                                       size_bytes=size, kind="data"))
+
+    def move(node_id, position):
+        positions[node_id] = position
+        medium.update_position(node_id, position)
+
+    for when, sender, size in transmissions:
+        sim.schedule_at(when, send, sender, size)
+    for when, node_id, position in moves:
+        sim.schedule_at(when, move, node_id, position)
+    sim.run()
+    return log, medium.stats
+
+
+def assert_equivalent(seed, **kwargs):
+    log_grid, stats_grid = run_scenario(seed, True, **kwargs)
+    log_brute, stats_brute = run_scenario(seed, False, **kwargs)
+    assert log_grid == log_brute
+    assert stats_grid == stats_brute
+    assert stats_grid.transmissions > 0
+    assert stats_grid.deliveries > 0
+
+
+class TestGridEquivalence:
+    """20+ seeded scenarios: identical event logs and MediumStats."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_static_random_placement(self, seed):
+        assert_equivalent(seed, n=30)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mobility_trace(self, seed):
+        assert_equivalent(100 + seed, n=24, mobile=True)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_collision_heavy(self, seed):
+        log, stats = run_scenario(200 + seed, True, n=24, heavy=True)
+        assert stats.collisions + stats.half_duplex_losses > 0
+        assert_equivalent(200 + seed, n=24, heavy=True)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_shadowing_consumes_identical_rng(self, seed):
+        # LogNormalShadowing draws from the medium RNG on every in-reach
+        # candidate; a superset mismatch would desynchronise the stream.
+        assert_equivalent(300 + seed, n=24, mobile=True, shadowing=True)
+
+    def test_grid_candidates_match_brute_force_after_range_filter(self):
+        positions, ranges, _, _ = _scenario_events(7, 40, heavy=False,
+                                                   mobile=False)
+        sim = Simulator()
+        medium = Medium(sim, RandomStream(7), UnitDisk(), use_grid=True)
+        for i in range(40):
+            medium.attach(i, (lambda i=i: positions[i]), ranges[i],
+                          lambda packet: None)
+        rng = random.Random(99)
+        for _ in range(50):
+            sender = rng.randrange(40)
+            origin = positions[sender]
+            reach = ranges[sender]
+            exact = sorted(i for i in range(40)
+                           if origin.within(positions[i], reach))
+            candidates = medium._grid.candidates(origin, reach)
+            assert set(candidates) >= set(exact)
+            assert candidates == sorted(candidates)
+            filtered = [i for i in candidates
+                        if origin.within(positions[i], reach)]
+            assert filtered == exact
+
+
+class TestExperimentLevelEquivalence:
+    """The full stack (MAC, protocol, mobility) with the grid globally
+    disabled must reproduce grid results exactly."""
+
+    FAST = dict(message_count=2, message_interval=1.0, warmup=4.0,
+                drain=6.0)
+
+    def _run(self, monkeypatch, use_grid, **scenario_kwargs):
+        monkeypatch.setattr(Medium, "DEFAULT_USE_GRID", use_grid)
+        config = ExperimentConfig(
+            scenario=ScenarioConfig(n=14, seed=5, **scenario_kwargs),
+            **self.FAST)
+        return run_experiment(config)
+
+    def test_static_experiment_identical(self, monkeypatch):
+        assert (self._run(monkeypatch, True)
+                == self._run(monkeypatch, False))
+
+    def test_mobile_experiment_identical(self, monkeypatch):
+        kwargs = dict(mobility="waypoint", speed_max=8.0)
+        assert (self._run(monkeypatch, True, **kwargs)
+                == self._run(monkeypatch, False, **kwargs))
+
+    def test_adversarial_shadowing_experiment_identical(self, monkeypatch):
+        kwargs = dict(propagation="shadowing",
+                      adversaries=AdversaryMix.mute(2))
+        assert (self._run(monkeypatch, True, **kwargs)
+                == self._run(monkeypatch, False, **kwargs))
+
+    def test_results_are_comparable(self, monkeypatch):
+        result = self._run(monkeypatch, True)
+        assert dataclasses.is_dataclass(result)
+        assert result.delivery_ratio > 0

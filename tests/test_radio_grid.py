@@ -1,0 +1,121 @@
+"""Property and unit tests for the spatial hash grid index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.geometry import Position
+from repro.radio.grid import SpatialHashGrid
+
+coord = st.floats(min_value=-800.0, max_value=800.0,
+                  allow_nan=False, allow_infinity=False)
+placements = st.lists(st.tuples(coord, coord), min_size=1, max_size=40)
+
+
+def build(points, cell_size=100.0):
+    grid = SpatialHashGrid(cell_size)
+    for node_id, (x, y) in enumerate(points):
+        grid.insert(node_id, Position(x, y))
+    return grid
+
+
+class TestBasics:
+    def test_insert_query_remove(self):
+        grid = SpatialHashGrid(100.0)
+        grid.insert(1, Position(10, 10))
+        assert 1 in grid and len(grid) == 1
+        assert grid.candidates(Position(0, 0), 50.0) == [1]
+        grid.remove(1)
+        assert 1 not in grid and len(grid) == 0
+        grid.remove(1)  # tolerant, like Medium.detach
+
+    def test_duplicate_insert_rejected(self):
+        grid = SpatialHashGrid(100.0)
+        grid.insert(1, Position(0, 0))
+        with pytest.raises(ValueError):
+            grid.insert(1, Position(5, 5))
+
+    def test_move_of_unknown_id_inserts(self):
+        grid = SpatialHashGrid(100.0)
+        grid.move(3, Position(1, 1))
+        assert 3 in grid
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialHashGrid(0.0)
+        grid = SpatialHashGrid(100.0)
+        with pytest.raises(ValueError):
+            grid.candidates(Position(0, 0), -1.0)
+
+    def test_candidates_sorted_ascending(self):
+        grid = SpatialHashGrid(50.0)
+        for node_id in (9, 2, 7, 0, 4):
+            grid.insert(node_id, Position(10, 10))
+        assert grid.candidates(Position(0, 0), 40.0) == [0, 2, 4, 7, 9]
+
+    def test_negative_coordinates_hash_correctly(self):
+        grid = SpatialHashGrid(100.0)
+        grid.insert(1, Position(-10, -10))
+        assert grid.candidates(Position(0, 0), 20.0) == [1]
+
+    def test_huge_radius_falls_back_to_everything(self):
+        points = [(x * 300.0, 0.0) for x in range(10)]
+        grid = build(points)
+        assert grid.candidates(Position(0, 0), 1e7) == list(range(10))
+
+    def test_rebuilt_preserves_membership(self):
+        grid = build([(0, 0), (150, 150), (450, 20)])
+        bigger = grid.rebuilt(500.0)
+        assert bigger.cell_size == 500.0
+        assert sorted(i for i, _ in bigger.items()) == [0, 1, 2]
+        assert bigger.candidates(Position(0, 0), 1000.0) == [0, 1, 2]
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(placements, coord, coord,
+           st.floats(min_value=1.0, max_value=400.0),
+           st.floats(min_value=10.0, max_value=400.0))
+    def test_candidates_superset_of_disk_membership(
+            self, points, qx, qy, radius, cell_size):
+        grid = build(points, cell_size)
+        center = Position(qx, qy)
+        candidates = set(grid.candidates(center, radius))
+        exact = {node_id for node_id, (x, y) in enumerate(points)
+                 if center.within(Position(x, y), radius)}
+        assert candidates >= exact
+
+    @settings(max_examples=60, deadline=None)
+    @given(placements, st.lists(st.tuples(coord, coord), max_size=40),
+           st.integers(min_value=0, max_value=2**31))
+    def test_incremental_moves_equal_rebuild(self, points, targets, seed):
+        """A grid mutated by `move` answers every query exactly like a
+        grid built from scratch at the final positions."""
+        grid = build(points)
+        rng = random.Random(seed)
+        final = {node_id: Position(x, y)
+                 for node_id, (x, y) in enumerate(points)}
+        for x, y in targets:
+            node_id = rng.randrange(len(points))
+            final[node_id] = Position(x, y)
+            grid.move(node_id, final[node_id])
+        fresh = SpatialHashGrid(grid.cell_size)
+        for node_id, position in final.items():
+            fresh.insert(node_id, position)
+        assert grid.occupied_cells() == fresh.occupied_cells()
+        for _ in range(10):
+            center = Position(rng.uniform(-800, 800),
+                              rng.uniform(-800, 800))
+            radius = rng.uniform(1.0, 500.0)
+            assert (grid.candidates(center, radius)
+                    == fresh.candidates(center, radius))
+
+    @settings(max_examples=60, deadline=None)
+    @given(placements, st.floats(min_value=10.0, max_value=400.0))
+    def test_positions_tracked_exactly(self, points, cell_size):
+        grid = build(points, cell_size)
+        for node_id, (x, y) in enumerate(points):
+            assert grid.position_of(node_id) == Position(x, y)
+        assert len(grid) == len(points)

@@ -198,6 +198,86 @@ class TestCollisions:
         assert all(r != 2 for r, _ in inbox)
 
 
+class TestOverlapSemantics:
+    """Airtimes are half-open intervals [start, end): touching at an
+    endpoint is NOT an overlap (regression pin for the intended
+    boundary semantics — back-to-back CSMA packets must not collide)."""
+
+    def make_tx(self, start, end, sender=1):
+        from repro.radio.medium import Transmission
+        return Transmission(sender=sender, origin=Position(0, 0),
+                            start=start, end=end, packet=packet(sender),
+                            tx_range=100.0)
+
+    def test_touching_endpoints_do_not_overlap(self):
+        first = self.make_tx(0.0, 1.0)
+        second = self.make_tx(1.0, 2.0, sender=2)
+        assert not first.overlaps(second)
+        assert not second.overlaps(first)
+
+    def test_partial_overlap_detected(self):
+        first = self.make_tx(0.0, 1.0)
+        second = self.make_tx(0.5, 1.5, sender=2)
+        assert first.overlaps(second)
+        assert second.overlaps(first)
+
+    def test_containment_overlaps(self):
+        outer = self.make_tx(0.0, 2.0)
+        inner = self.make_tx(0.5, 1.0, sender=2)
+        assert outer.overlaps(inner) and inner.overlaps(outer)
+
+    def test_disjoint_intervals_do_not_overlap(self):
+        first = self.make_tx(0.0, 1.0)
+        second = self.make_tx(3.0, 4.0, sender=2)
+        assert not first.overlaps(second)
+        assert not second.overlaps(first)
+
+    def test_back_to_back_transmissions_both_delivered(self):
+        """End-to-end: a packet starting the instant another ends is
+        neither a collision nor a half-duplex loss."""
+        sim, medium = make_medium()
+        inbox = []
+        attach(medium, 1, 0, 0, inbox)
+        attach(medium, 2, 80, 0, inbox)
+        attach(medium, 3, 40, 0, inbox)  # hears both
+        first = packet(1)
+        airtime = medium.airtime(first)
+        medium.transmit(1, first)
+        sim.schedule_at(airtime, lambda: medium.transmit(2, packet(2)))
+        sim.run()
+        received_by_3 = sorted(p.sender for r, p in inbox if r == 3)
+        assert received_by_3 == [1, 2]
+        assert medium.stats.collisions == 0
+        assert medium.stats.half_duplex_losses == 0
+
+
+class TestDeliveryOrder:
+    """Same-instant deliveries happen in ascending node-id order no
+    matter in which order radios attached — the invariant that lets the
+    spatial grid replace the insertion-ordered dict scan."""
+
+    def run_with_attach_order(self, order, use_grid=True):
+        sim = Simulator()
+        medium = Medium(sim, RandomStream(1), UnitDisk(),
+                        use_grid=use_grid)
+        inbox = []
+        spots = {1: (0.0, 0.0), 2: (10.0, 0.0), 3: (20.0, 0.0),
+                 4: (0.0, 10.0), 5: (0.0, 20.0)}
+        for node_id in order:
+            x, y = spots[node_id]
+            attach(medium, node_id, x, y, inbox)
+        medium.transmit(1, packet(1))
+        sim.run()
+        return [r for r, _ in inbox]
+
+    @pytest.mark.parametrize("use_grid", [True, False])
+    def test_order_is_sorted_ids_regardless_of_attach_order(self,
+                                                            use_grid):
+        for order in ([1, 2, 3, 4, 5], [5, 4, 3, 2, 1], [3, 1, 5, 2, 4]):
+            assert (self.run_with_attach_order(order, use_grid)
+                    == [2, 3, 4, 5])
+
+
 class TestCarrierSense:
     def test_idle_channel(self):
         _, medium = make_medium()
