@@ -9,6 +9,8 @@ Public API tour
   :class:`ByzantineBroadcastProtocol`);
 * :mod:`repro.baselines` — flooding, overlay-only, f+1 overlays;
 * :mod:`repro.adversary` — Byzantine behaviours and active attackers;
+* :mod:`repro.chaos` — fault timelines (:class:`FaultSchedule`) replayed
+  mid-run, plus the run-time :class:`InvariantOracle`;
 * :mod:`repro.overlay` / :mod:`repro.fd` / :mod:`repro.radio` /
   :mod:`repro.crypto` / :mod:`repro.des` — the substrates.
 

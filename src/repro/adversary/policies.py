@@ -31,7 +31,9 @@ __all__ = [
     "RequestFloodAttacker",
     "GossipFloodAttacker",
     "make_behavior",
+    "make_attacker",
     "BEHAVIOR_KINDS",
+    "ATTACKER_KINDS",
 ]
 
 
@@ -121,6 +123,24 @@ class GossipFloodAttacker:
 
 BEHAVIOR_KINDS = ("correct", "mute", "selective_drop", "forging",
                   "impersonation", "gossip_liar", "deaf")
+
+ATTACKER_KINDS = ("request_flood", "gossip_flood")
+
+
+def make_attacker(kind: str, sim: Simulator, node: NetworkNode,
+                  rng: RandomStream, **kwargs):
+    """Build an active attacker riding on ``node`` from a scenario string.
+
+    Used by the chaos timeline (``attacker_start`` events) and by
+    experiment scripts; the caller owns start/stop.
+    """
+    kind = kind.lower()
+    if kind == "request_flood":
+        return RequestFloodAttacker(sim, node, rng, **kwargs)
+    if kind == "gossip_flood":
+        return GossipFloodAttacker(sim, node, rng, **kwargs)
+    raise ValueError(
+        f"unknown attacker kind {kind!r}; choose from {ATTACKER_KINDS}")
 
 
 def make_behavior(kind: str, rng: Optional[RandomStream] = None,

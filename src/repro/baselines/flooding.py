@@ -74,6 +74,10 @@ class FloodingNode:
     def add_accept_listener(self, listener) -> None:
         self._accept_listeners.append(listener)
 
+    def set_behavior(self, behavior: Optional[NodeBehavior]) -> None:
+        """Swap the behaviour policy mid-run (``None`` → correct)."""
+        self._behavior = behavior
+
     # ------------------------------------------------------------------
     def broadcast(self, payload: bytes) -> MessageId:
         self._seq += 1

@@ -1,0 +1,41 @@
+"""Fault-timeline chaos injection and run-time invariant checking.
+
+``repro.chaos`` turns static adversary placement into *timelines*: a
+declarative :class:`FaultSchedule` says when which node goes mute,
+crashes, restarts, swaps behaviour, loses its receive path, drops
+transmit power, or starts flooding — and the :class:`ChaosController`
+replays it deterministically against a live network.  The
+:class:`InvariantOracle` rides along, checking the paper's §3.5 claims
+(no forged delivery, at-most-once delivery, bounded dissemination
+latency, bounded buffers) while the run happens.
+"""
+
+from .controller import ChaosController
+from .oracle import (
+    INVARIANTS,
+    InvariantOracle,
+    InvariantViolation,
+    OracleConfig,
+)
+from .schedule import (
+    FAULT_ACTIONS,
+    FaultEvent,
+    FaultSchedule,
+    behavior_window,
+    crash_restart,
+    mute_onset,
+)
+
+__all__ = [
+    "ChaosController",
+    "FAULT_ACTIONS",
+    "FaultEvent",
+    "FaultSchedule",
+    "INVARIANTS",
+    "InvariantOracle",
+    "InvariantViolation",
+    "OracleConfig",
+    "behavior_window",
+    "crash_restart",
+    "mute_onset",
+]

@@ -1,0 +1,229 @@
+"""Run-time invariant checking.
+
+The :class:`InvariantOracle` subscribes to the same observable seams the
+metrics/tracing layers use (broadcast registration, per-node accept
+listeners, store occupancy) and checks the paper's correctness claims
+*while the run happens*:
+
+``forged_payload``
+    No correct node delivers a payload that differs from what the
+    originator broadcast (§2's authentication assumption: "messages are
+    signed, and nodes cannot forge other nodes' signatures").
+
+``duplicate_delivery``
+    At-most-once delivery per (node, message) — the duplicate check in
+    accept path must hold even across behaviour swaps and recoveries.
+    A crash-restart that wipes the store legitimately redelivers, so the
+    oracle forgets a node's delivery set when told its state was reset.
+
+``latency_bound``
+    §3.5: dissemination time is bounded by ``max_timeout * (n - 1)``.
+    Checked per accept on nodes that never suffered a fault.
+
+``buffer_bound``
+    §3.5: buffers stay below ``max_timeout * delta``.  This repo keeps
+    delivered payloads for ``purge_timeout`` seconds (retransmission
+    service), so the bound is instantiated with the actual retention:
+    ``ceil(delta * purge_timeout) + slack`` where ``delta`` is the
+    offered broadcast rate.
+
+Violations are structured :class:`InvariantViolation` records surfaced in
+:class:`repro.sim.ExperimentResult` and campaign rows.  The oracle draws
+no randomness and schedules only unjittered sampling ticks, so enabling
+it never perturbs the protocol's event stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from ..core.config import ProtocolConfig
+from ..core.messages import MessageId
+from ..des.kernel import Simulator
+from ..des.timers import PeriodicTask
+from .schedule import FaultEvent
+
+__all__ = ["OracleConfig", "InvariantViolation", "InvariantOracle",
+           "INVARIANTS"]
+
+INVARIANTS = ("forged_payload", "duplicate_delivery", "latency_bound",
+              "buffer_bound")
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """What the oracle checks and how often it samples."""
+
+    check_latency: bool = True
+    check_buffers: bool = True
+    #: Seconds between buffer-occupancy samples.
+    buffer_sample_period: float = 1.0
+    #: Absolute headroom added to the buffer bound (in-flight gossip
+    #: entries and recovery copies ride on top of retained payloads).
+    buffer_slack: int = 8
+    #: Physical transmission time fed to ``ProtocolConfig.max_timeout``.
+    transmission_time: float = 0.01
+    #: Stop recording after this many violations (a broken run would
+    #: otherwise flood memory; the count keeps incrementing).
+    record_limit: int = 1000
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed violation of a checked invariant."""
+
+    time: float
+    node: int
+    invariant: str
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": round(self.time, 6), "node": self.node,
+                "invariant": self.invariant,
+                "detail": {k: self.detail[k] for k in sorted(self.detail)}}
+
+
+class InvariantOracle:
+    """Checks safety/performance invariants against a live run."""
+
+    def __init__(self, sim: Simulator, nodes, protocol_config: ProtocolConfig,
+                 *, delta: float, config: Optional[OracleConfig] = None,
+                 exempt: Optional[Set[int]] = None):
+        self._sim = sim
+        self._nodes = list(nodes)
+        self._config = config or OracleConfig()
+        self._protocol_config = protocol_config
+        #: nodes excluded from latency/buffer checks: byzantine by
+        #: scenario, or targeted by any fault in the chaos timeline.
+        self._exempt: Set[int] = set(exempt or ())
+        n = len(self._nodes)
+        self.latency_bound = (protocol_config.max_timeout(
+            self._config.transmission_time) * max(1, n - 1))
+        self.buffer_bound = (math.ceil(max(0.0, delta)
+                                       * protocol_config.purge_timeout)
+                             + self._config.buffer_slack)
+        self._payloads: Dict[MessageId, bytes] = {}
+        self._sent_at: Dict[MessageId, float] = {}
+        self._delivered: Set[Tuple[int, MessageId]] = set()
+        self._buffer_flagged: Set[int] = set()
+        self._listeners: List[Callable[[InvariantViolation], None]] = []
+        self.violations: List[InvariantViolation] = []
+        self.violation_count = 0
+        self._sampler = PeriodicTask(sim, self._config.buffer_sample_period,
+                                     self._sample_buffers)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def exempt(self) -> Set[int]:
+        return set(self._exempt)
+
+    def add_listener(self,
+                     listener: Callable[[InvariantViolation], None]) -> None:
+        self._listeners.append(listener)
+
+    def attach_network(self, nodes) -> "InvariantOracle":
+        for node in nodes:
+            node.add_accept_listener(self.accept_listener)
+        return self
+
+    def start(self) -> None:
+        if self._config.check_buffers:
+            self._sampler.start()
+
+    def stop(self) -> None:
+        self._sampler.stop()
+
+    # ------------------------------------------------------------------
+    # Event feeds
+    # ------------------------------------------------------------------
+    def on_broadcast(self, msg_id: MessageId, payload: bytes,
+                     time: float) -> None:
+        """Register the authoritative payload of one broadcast."""
+        self._payloads[msg_id] = bytes(payload)
+        self._sent_at[msg_id] = time
+        self._delivered.add((msg_id.originator, msg_id))
+
+    def accept_listener(self, receiver: int, originator: int,
+                        payload: bytes, msg_id: MessageId) -> None:
+        """In the shape ``node.add_accept_listener`` expects."""
+        now = self._sim.now
+        expected = self._payloads.get(msg_id)
+        if expected is not None and bytes(payload) != expected:
+            self._record(now, receiver, "forged_payload",
+                         originator=originator, seq=msg_id.seq)
+        key = (receiver, msg_id)
+        if key in self._delivered:
+            self._record(now, receiver, "duplicate_delivery",
+                         originator=originator, seq=msg_id.seq)
+        self._delivered.add(key)
+        if (self._config.check_latency and receiver not in self._exempt):
+            sent_at = self._sent_at.get(msg_id)
+            if sent_at is not None and now - sent_at > self.latency_bound:
+                self._record(now, receiver, "latency_bound",
+                             originator=originator, seq=msg_id.seq,
+                             latency=round(now - sent_at, 6),
+                             bound=round(self.latency_bound, 6))
+
+    def chaos_listener(self, time: float, event: FaultEvent) -> None:
+        """In the shape ``ChaosController.add_listener`` expects.
+
+        Any faulted node leaves the latency/buffer population; a
+        state-resetting restart additionally clears its delivery
+        history (redelivery after store loss is legitimate).
+        """
+        self._exempt.add(event.node)
+        if (event.action == "restart"
+                and event.params.get("reset_state", True)):
+            self.note_state_reset(event.node)
+
+    def note_state_reset(self, node: int) -> None:
+        self._delivered = {(receiver, msg_id)
+                           for receiver, msg_id in self._delivered
+                           if receiver != node}
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def _sample_buffers(self) -> None:
+        for node in self._nodes:
+            if node.node_id in self._exempt \
+                    or node.node_id in self._buffer_flagged:
+                continue
+            if getattr(node, "crashed", False):
+                continue
+            protocol = getattr(node, "protocol", None)
+            store = getattr(protocol, "store", None)
+            if store is None:
+                continue
+            occupancy = store.buffered_count
+            if occupancy > self.buffer_bound:
+                # Flag each node at most once; a stuck buffer would
+                # otherwise re-fire every sampling tick.
+                self._buffer_flagged.add(node.node_id)
+                self._record(self._sim.now, node.node_id, "buffer_bound",
+                             occupancy=occupancy, bound=self.buffer_bound)
+
+    def _record(self, time: float, node: int, invariant: str,
+                **detail: Any) -> None:
+        self.violation_count += 1
+        violation = InvariantViolation(time=time, node=node,
+                                       invariant=invariant, detail=detail)
+        if len(self.violations) < self._config.record_limit:
+            self.violations.append(violation)
+        for listener in self._listeners:
+            listener(violation)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        """Violation counts per invariant (zero entries omitted)."""
+        totals: Dict[str, int] = {}
+        for violation in self.violations:
+            totals[violation.invariant] = \
+                totals.get(violation.invariant, 0) + 1
+        return dict(sorted(totals.items()))

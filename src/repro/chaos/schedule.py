@@ -1,0 +1,212 @@
+"""Declarative fault timelines.
+
+A :class:`FaultSchedule` is a list of :class:`FaultEvent` — *when* which
+node suffers *what* — that the :class:`repro.chaos.ChaosController`
+replays against a live network.  Schedules are plain data: they JSON
+round-trip (``--chaos spec.json`` on the CLI), hash stably into campaign
+config keys, and pickle across worker processes.
+
+Event times share the workload clock of :class:`repro.sim.ExperimentConfig`
+— ``time=0`` is the end of warmup, exactly like ``BroadcastEvent.time``.
+
+Supported actions
+-----------------
+
+=================  ====================================================
+``mute``           swap to :class:`MuteBehavior` (params: none)
+``recover``        restore correct behaviour
+``behavior``       swap to any behaviour kind
+                   (params: ``kind`` + behaviour kwargs)
+``crash``          radio off, periodic machinery halted
+``restart``        bring a crashed node back
+                   (params: ``reset_state``, default true)
+``deaf``           receive path dead, transmit path alive
+``hear``           restore the receive path
+``tx_power``       scale transmit range (params: ``factor`` in (0, 1])
+``attacker_start`` attach an active attacker
+                   (params: ``kind`` in ``ATTACKER_KINDS``, ``rate_hz``)
+``attacker_stop``  detach the node's attacker
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["FAULT_ACTIONS", "FaultEvent", "FaultSchedule",
+           "mute_onset", "crash_restart", "behavior_window"]
+
+FAULT_ACTIONS = ("mute", "recover", "behavior", "crash", "restart",
+                 "deaf", "hear", "tx_power", "attacker_start",
+                 "attacker_stop")
+
+#: Params every action understands, for validation at construction time.
+_ALLOWED_PARAMS: Dict[str, frozenset] = {
+    "mute": frozenset(),
+    "recover": frozenset(),
+    "behavior": None,               # open: behaviour kwargs pass through
+    "crash": frozenset(),
+    "restart": frozenset({"reset_state"}),
+    "deaf": frozenset(),
+    "hear": frozenset(),
+    "tx_power": frozenset({"factor"}),
+    "attacker_start": None,         # open: attacker kwargs pass through
+    "attacker_stop": frozenset(),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: at ``time``, ``node`` suffers ``action``."""
+
+    time: float
+    node: int
+    action: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be non-negative: {self.time}")
+        if self.node < 0:
+            raise ValueError(f"node id must be non-negative: {self.node}")
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}; "
+                             f"choose from {FAULT_ACTIONS}")
+        allowed = _ALLOWED_PARAMS[self.action]
+        if allowed is not None:
+            unknown = set(self.params) - allowed
+            if unknown:
+                raise ValueError(
+                    f"{self.action!r} does not accept params "
+                    f"{sorted(unknown)}")
+        if self.action == "behavior" and "kind" not in self.params:
+            raise ValueError("'behavior' events need a 'kind' param")
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"time": self.time, "node": self.node,
+                               "action": self.action}
+        if self.params:
+            out["params"] = {k: self.params[k] for k in sorted(self.params)}
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "FaultEvent":
+        extra = set(data) - {"time", "node", "action", "params"}
+        if extra:
+            raise ValueError(f"unknown fault-event keys {sorted(extra)}")
+        return FaultEvent(time=float(data["time"]), node=int(data["node"]),
+                          action=str(data["action"]),
+                          params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable timeline of fault events.
+
+    Events are kept in the order given; the controller schedules them at
+    their absolute times and the kernel's FIFO tie-breaking makes
+    same-instant events fire in list order.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """The time of the last scheduled fault (0.0 when empty)."""
+        return max((event.time for event in self.events), default=0.0)
+
+    def nodes(self) -> List[int]:
+        """Every node id the schedule touches, ascending."""
+        return sorted({event.node for event in self.events})
+
+    def extended(self, *events: FaultEvent) -> "FaultSchedule":
+        return FaultSchedule(events=self.events + tuple(events))
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "FaultSchedule":
+        extra = set(data) - {"events"}
+        if extra:
+            raise ValueError(f"unknown fault-schedule keys {sorted(extra)}")
+        return FaultSchedule(events=tuple(
+            FaultEvent.from_dict(entry) for entry in data.get("events", ())))
+
+    @staticmethod
+    def from_json(text: str) -> "FaultSchedule":
+        return FaultSchedule.from_dict(json.loads(text))
+
+    @staticmethod
+    def from_file(path: str) -> "FaultSchedule":
+        with open(path) as handle:
+            return FaultSchedule.from_json(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Presets (the shapes the E-series experiments use)
+# ----------------------------------------------------------------------
+def mute_onset(nodes: Iterable[int], onset: float,
+               recovery: Optional[float] = None) -> FaultSchedule:
+    """Mid-run mute onset, optionally followed by recovery.
+
+    The regime the paper's static evaluation cannot express: nodes that
+    behaved correctly long enough to be elected into the overlay go mute
+    at ``onset`` (and, with ``recovery``, come back later).
+    """
+    events: List[FaultEvent] = [
+        FaultEvent(time=onset, node=node, action="mute")
+        for node in sorted(set(nodes))]
+    if recovery is not None:
+        if recovery <= onset:
+            raise ValueError("recovery must come after onset")
+        events.extend(FaultEvent(time=recovery, node=node, action="recover")
+                      for node in sorted(set(nodes)))
+    return FaultSchedule(events=tuple(events))
+
+
+def crash_restart(nodes: Iterable[int], crash_at: float,
+                  restart_at: Optional[float] = None,
+                  reset_state: bool = True) -> FaultSchedule:
+    """Crash faults, optionally followed by a (store-resetting) restart."""
+    events: List[FaultEvent] = [
+        FaultEvent(time=crash_at, node=node, action="crash")
+        for node in sorted(set(nodes))]
+    if restart_at is not None:
+        if restart_at <= crash_at:
+            raise ValueError("restart must come after the crash")
+        events.extend(
+            FaultEvent(time=restart_at, node=node, action="restart",
+                       params={"reset_state": reset_state})
+            for node in sorted(set(nodes)))
+    return FaultSchedule(events=tuple(events))
+
+
+def behavior_window(node: int, kind: str, start: float,
+                    end: Optional[float] = None,
+                    **params: Any) -> FaultSchedule:
+    """One node runs behaviour ``kind`` from ``start`` (until ``end``)."""
+    events = [FaultEvent(time=start, node=node, action="behavior",
+                         params={"kind": kind, **params})]
+    if end is not None:
+        if end <= start:
+            raise ValueError("end must come after start")
+        events.append(FaultEvent(time=end, node=node, action="recover"))
+    return FaultSchedule(events=tuple(events))

@@ -14,6 +14,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from .chaos import FaultSchedule, OracleConfig
 from .core.config import ProtocolConfig
 from .core.node import NodeStackConfig
 from .sim.experiment import (
@@ -41,6 +42,7 @@ _EXPERIMENTS = (
     ("E10", "analysis bounds (Thm 3.4)", "test_e10_analysis_bounds.py"),
     ("E11", "delivery under mobility", "test_e11_mobility.py"),
     ("E12", "hundred-node scale + energy", "test_e12_scale_energy.py"),
+    ("E13", "mid-run mute onset vs permanent mute", "test_e13_midrun_mute.py"),
     ("A1", "gossip period trade-off", "test_a1_gossip_period.py"),
     ("A2", "FIND TTL 1 vs 2", "test_a2_find_ttl.py"),
     ("A3", "gossip aggregation/piggyback", "test_a3_gossip_aggregation.py"),
@@ -91,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--rule", choices=("cds", "mis+b"), default="cds",
                        help="overlay election rule")
         p.add_argument("--gossip-period", type=float, default=1.0)
+        p.add_argument("--chaos", metavar="SPEC.json", default=None,
+                       help="fault-timeline JSON replayed against the run "
+                            "(times relative to end of warmup); implies "
+                            "--oracle")
+        p.add_argument("--oracle", action="store_true",
+                       help="check run-time invariants (forged/duplicate "
+                            "delivery, latency and buffer bounds)")
 
     run_p = sub.add_parser("run", help="run one experiment")
     add_scenario_args(run_p)
@@ -142,13 +151,18 @@ def _config_from(args: argparse.Namespace, protocol: str,
     stack = NodeStackConfig(
         overlay_rule=args.rule,
         protocol=ProtocolConfig(gossip_period=args.gossip_period))
+    chaos = (FaultSchedule.from_file(args.chaos)
+             if getattr(args, "chaos", None) else None)
+    oracle = (OracleConfig()
+              if getattr(args, "oracle", False) or chaos else None)
     return ExperimentConfig(
         scenario=scenario, protocol=protocol, stack=stack,
         message_count=args.messages, message_interval=args.interval,
-        warmup=args.warmup, drain=args.drain)
+        warmup=args.warmup, drain=args.drain,
+        chaos=chaos, oracle=oracle)
 
 
-def _print_report(result, out) -> None:
+def _print_report(result, out, *, oracle: bool = False) -> None:
     print(format_rows([result.row()]), file=out)
     print(f"\nbytes/broadcast:      {result.bytes_per_broadcast:.0f}",
           file=out)
@@ -167,6 +181,17 @@ def _print_report(result, out) -> None:
     for key, value in sorted(result.physical.items()):
         if key.startswith("tx_"):
             print(f"  {key[3:]:<14}{value:>8.0f}", file=out)
+    if result.chaos_events:
+        print(f"\nchaos: {result.chaos_events} fault events applied",
+              file=out)
+    if oracle:
+        print(f"invariant violations: {result.invariant_violations}",
+              file=out)
+        for violation in result.violations[:10]:
+            print(f"  t={violation['time']:<10} "
+                  f"node={violation['node']:<4} "
+                  f"{violation['invariant']} {violation['detail']}",
+                  file=out)
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
@@ -182,9 +207,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return 0
 
     if args.command == "run":
-        result = run_experiment(_config_from(
-            args, args.protocol, _scenario_from(args)))
-        _print_report(result, out)
+        config = _config_from(args, args.protocol, _scenario_from(args))
+        result = run_experiment(config)
+        _print_report(result, out, oracle=config.oracle is not None)
         return 0
 
     if args.command == "compare":

@@ -79,6 +79,7 @@ class NetworkNode:
         self._sim = sim
         self._node_id = node_id
         self._stack = stack
+        self._crashed = False
         self.accepted: List[AcceptRecord] = []
         self._accept_listeners: List[Callable[[int, int, bytes, MessageId],
                                               None]] = []
@@ -133,6 +134,58 @@ class NetworkNode:
         self.mute.stop()
         self.verbose.stop()
         self.trust.stop()
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.chaos drives these)
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def set_behavior(self, behavior) -> None:
+        """Swap the node's behaviour policy mid-run (``None`` → correct).
+
+        Everything else — pending timers, in-flight transmissions, the
+        message store, failure-detector suspicion state — stays intact.
+        """
+        self.protocol.set_behavior(behavior)
+
+    def crash(self) -> None:
+        """Crash-fault the node: radio off, all periodic machinery halted.
+
+        Idempotent.  One-shot events already scheduled (request/serve
+        timers, MUTE deadlines) may still fire, but any transmission they
+        attempt vanishes at the powered-off radio — the same observable
+        silence a real crashed device produces.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.radio.power_off()
+        self.protocol.stop()
+        self.overlay.stop()
+        self.neighbors.stop()
+
+    def restart(self, reset_state: bool = True) -> None:
+        """Bring a crashed node back.  Idempotent on a live node.
+
+        With ``reset_state`` (the default — crashed devices lose RAM) the
+        message store, recovery bookkeeping, and failure-detector counters
+        are wiped; the broadcast sequence counter survives so the node
+        never reuses a message id.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        if reset_state:
+            self.protocol.reset_state()
+            self.mute.reset()
+            self.verbose.reset()
+            self.trust.reset()
+        self.radio.power_on()
+        self.neighbors.start()
+        self.overlay.start()
+        self.protocol.start()
 
     # ------------------------------------------------------------------
     def broadcast(self, payload: bytes) -> MessageId:

@@ -241,6 +241,40 @@ class ByzantineBroadcastProtocol:
     def overlay(self) -> OverlayPort:
         return self._overlay
 
+    @property
+    def behavior(self) -> NodeBehavior:
+        return self._behavior
+
+    def set_behavior(self, behavior: Optional[NodeBehavior]) -> None:
+        """Swap this node's behaviour policy mid-run (fault injection).
+
+        ``None`` restores :class:`CorrectBehavior`.  Only the boundary
+        filter changes: pending timers, in-flight transmissions, the
+        message store, and failure-detector state all survive, so a
+        mute→recover transition behaves like a real node whose fault
+        cleared.
+        """
+        self._behavior = behavior or CorrectBehavior()
+
+    def reset_state(self) -> None:
+        """Forget all protocol state (crash-with-store-loss semantics).
+
+        Clears the message store, outstanding MUTE expectations, recovery
+        bookkeeping, and statistics.  The sequence counter is preserved:
+        a restarted node must never reuse a (originator, seq) message id,
+        or receivers would drop its new messages as duplicates.
+        """
+        for expectation in (*self._recovery_expectations.values(),
+                            *self._forward_expectations.values()):
+            self._mute.fulfill(expectation)
+        self._store = MessageStore()
+        self._forwarded_finds.clear()
+        self._last_served.clear()
+        self._recovery_expectations.clear()
+        self._forward_expectations.clear()
+        self._request_counts.clear()
+        self.stats = ProtocolStats()
+
     def set_accept_callback(self, callback: AcceptCallback) -> None:
         self._accept_callback = callback
 

@@ -179,6 +179,18 @@ class MuteFailureDetector:
         """Explicitly rehabilitate a node (used by tests/experiments)."""
         self._counters.pop(node_id, None)
 
+    def reset(self) -> None:
+        """Forget everything (node restart after a crash fault).
+
+        Outstanding expectations are marked fulfilled so their already-
+        scheduled deadlines cannot charge strikes against the fresh state.
+        """
+        for expectation in self._expectations:
+            expectation.fulfilled = True
+        self._expectations.clear()
+        self._counters.clear()
+        self._aging.stop()
+
     # ------------------------------------------------------------------
     def _check_deadline(self, expectation: Expectation) -> None:
         if expectation.fulfilled:

@@ -159,6 +159,12 @@ class TrustFailureDetector:
     def stop(self) -> None:
         self._aging.stop()
 
+    def reset(self) -> None:
+        """Forget all direct suspicions and peer reports (node restart)."""
+        self._direct.clear()
+        self._peer_reports.clear()
+        self._aging.stop()
+
     # ------------------------------------------------------------------
     def _locally_suspected(self, node_id: int) -> bool:
         if self._mute is not None and self._mute.suspected(node_id):

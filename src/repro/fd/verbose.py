@@ -122,6 +122,16 @@ class VerboseFailureDetector:
     def stop(self) -> None:
         self._aging.stop()
 
+    def reset(self) -> None:
+        """Forget all counters and arrival history (node restart).
+
+        The initialization-time min-spacing policy is retained — it is
+        configuration, not run-time state.
+        """
+        self._counters.clear()
+        self._last_arrival.clear()
+        self._aging.stop()
+
     def _age(self) -> None:
         if self._config.aging_amount:
             for node in list(self._counters):

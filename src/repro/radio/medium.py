@@ -186,6 +186,23 @@ class Medium:
         """Power a radio on/off (crashed nodes neither send nor receive)."""
         self._radios[node_id].enabled = enabled
 
+    def set_tx_range(self, node_id: int, tx_range: float) -> None:
+        """Change a radio's transmission range (transmit-power faults).
+
+        The new reach must not exceed the spatial grid's cell size (set
+        from the largest attach-time reach), so only attach-time-or-smaller
+        ranges are accepted while a grid is active.
+        """
+        if tx_range <= 0:
+            raise ValueError(f"tx_range must be positive: {tx_range}")
+        if self._grid is not None:
+            reach = self._propagation.max_reach(tx_range)
+            if reach > self._grid.cell_size:
+                raise ValueError(
+                    f"tx_range {tx_range} reaches beyond the spatial "
+                    f"grid's cell size {self._grid.cell_size}")
+        self._radios[node_id].tx_range = tx_range
+
     def add_observer(self, observer: MediumObserver) -> None:
         self._observers.append(observer)
 

@@ -30,6 +30,8 @@ class Radio:
         self._node_id = node_id
         self._position = position
         self._tx_range = tx_range
+        self._nominal_tx_range = tx_range
+        self._deaf = False
         self._receiver: Optional[Callable[[Packet], None]] = None
         self._mac = CsmaMac(sim, medium, node_id, rng, mac_config)
         medium.attach(node_id, lambda: self._position, tx_range,
@@ -77,6 +79,37 @@ class Radio:
     def power_on(self) -> None:
         self._medium.set_enabled(self._node_id, True)
 
+    # ------------------------------------------------------------------
+    # Impairments (repro.chaos drives these)
+    # ------------------------------------------------------------------
+    @property
+    def deaf(self) -> bool:
+        return self._deaf
+
+    def set_deaf(self, deaf: bool) -> None:
+        """Drop all incoming packets at the antenna while still
+        transmitting — a broken receive path (or a jammed front end).
+
+        The medium still counts the delivery (energy arrived); the packet
+        simply never reaches the node's receiver callback.
+        """
+        self._deaf = deaf
+
+    def set_tx_power_factor(self, factor: float) -> None:
+        """Scale the transmission range to ``factor`` of its nominal value
+        (a sick amplifier / low-battery transmit-power drop).
+
+        Only reductions are allowed (``0 < factor <= 1``): growing beyond
+        the attach-time range could exceed the medium's spatial-index cell
+        size.  ``factor=1.0`` restores the nominal range.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1]: {factor}")
+        self._tx_range = self._nominal_tx_range * factor
+        self._medium.set_tx_range(self._node_id, self._tx_range)
+
     def _on_packet(self, packet: Packet) -> None:
+        if self._deaf:
+            return
         if self._receiver is not None:
             self._receiver(packet)

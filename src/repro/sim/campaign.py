@@ -63,6 +63,9 @@ def result_to_record(config: ExperimentConfig,
         "mean_latency": result.mean_latency,
         "max_latency": result.max_latency,
         "mean_completion_latency": result.mean_completion_latency,
+        "chaos_events": result.chaos_events,
+        "invariant_violations": result.invariant_violations,
+        "violations": _jsonable(result.violations),
         "physical": _jsonable(result.physical),
         "energy": _jsonable(result.energy),
         "overlay_quality": _jsonable(result.overlay_quality),

@@ -28,6 +28,12 @@ from ..baselines.multi_overlay import (
     build_independent_overlays,
 )
 from ..baselines.overlay_only import OverlayOnlyNode
+from ..chaos import (
+    ChaosController,
+    FaultSchedule,
+    InvariantOracle,
+    OracleConfig,
+)
 from ..core.messages import MessageId
 from ..core.node import NetworkNode, NodeStackConfig
 from ..crypto.keystore import HmacScheme, KeyDirectory
@@ -70,6 +76,11 @@ class ExperimentConfig:
     drain: float = 15.0
     overlay_count: Optional[int] = None   # multi_overlay only
     workload: Optional[Sequence[BroadcastEvent]] = None
+    #: Fault timeline replayed against the run (times on the workload
+    #: clock: 0 = end of warmup).  None/empty = fault-free.
+    chaos: Optional[FaultSchedule] = None
+    #: Invariant-oracle settings; None disables run-time checking.
+    oracle: Optional[OracleConfig] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -105,6 +116,13 @@ class ExperimentResult:
     energy: Dict[str, float]
     overlay_quality: Optional[OverlayQuality]
     sim_time: float
+    #: Fault events the chaos timeline actually applied.
+    chaos_events: int = 0
+    #: Total invariant violations the oracle observed (0 when disabled).
+    invariant_violations: int = 0
+    #: Recorded violations as plain dicts (capped by the oracle's
+    #: ``record_limit``), campaign/JSON-serialisable.
+    violations: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def protocol_transmissions(self) -> float:
@@ -153,6 +171,7 @@ class ExperimentResult:
                         if self.max_latency is not None else None),
             "tx/bcast": round(self.transmissions_per_broadcast, 1),
             "collisions": self.physical.get("collisions", 0),
+            "invariant_violations": self.invariant_violations,
         }
 
 
@@ -182,6 +201,22 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     for node in nodes:
         node.add_accept_listener(listener)
 
+    events = config.events()
+    controller: Optional[ChaosController] = None
+    if config.chaos:
+        controller = ChaosController(sim, nodes, config.chaos, streams)
+    oracle: Optional[InvariantOracle] = None
+    if config.oracle is not None:
+        exempt = set(assignment)
+        if config.chaos:
+            exempt.update(config.chaos.nodes())
+        oracle = InvariantOracle(
+            sim, nodes, config.stack.protocol, delta=_offered_rate(events),
+            config=config.oracle, exempt=exempt)
+        oracle.attach_network(nodes)
+        if controller is not None:
+            controller.add_listener(oracle.chaos_listener)
+
     mobility = _mobility(scenario, sim, [node.radio for node in nodes],
                          area, streams)
     for node in nodes:
@@ -190,14 +225,23 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     sim.run(until=config.warmup)
 
-    events = config.events()
     for event in events:
         sim.schedule_at(config.warmup + event.time, _inject, sim, collector,
-                        nodes[event.source], event)
+                        oracle, nodes[event.source], event)
     horizon = config.warmup + max(e.time for e in events) + config.drain
+    if controller is not None:
+        controller.start(at=config.warmup)
+        horizon = max(horizon,
+                      config.warmup + config.chaos.horizon + config.drain)
+    if oracle is not None:
+        oracle.start()
     sim.run(until=horizon)
 
     overlay_quality = _overlay_snapshot(config, nodes, scenario, correct)
+    if oracle is not None:
+        oracle.stop()
+    if controller is not None:
+        controller.stop()
     for node in nodes:
         node.stop()
 
@@ -215,6 +259,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         energy=energy.summary(),
         overlay_quality=overlay_quality,
         sim_time=sim.now,
+        chaos_events=len(controller.applied) if controller else 0,
+        invariant_violations=oracle.violation_count if oracle else 0,
+        violations=([v.to_dict() for v in oracle.violations]
+                    if oracle else []),
     )
 
 
@@ -240,10 +288,26 @@ def run_many(configs: Sequence[ExperimentConfig],
 # ----------------------------------------------------------------------
 # Internals
 # ----------------------------------------------------------------------
-def _inject(sim: Simulator, collector: MetricsCollector, node,
+def _inject(sim: Simulator, collector: MetricsCollector,
+            oracle: Optional[InvariantOracle], node,
             event: BroadcastEvent) -> None:
-    msg_id = node.broadcast(event.payload())
+    if getattr(node, "crashed", False):
+        return  # a crashed source cannot broadcast
+    payload = event.payload()
+    msg_id = node.broadcast(payload)
     collector.on_broadcast(msg_id, sim.now)
+    if oracle is not None:
+        oracle.on_broadcast(msg_id, payload, sim.now)
+
+
+def _offered_rate(events: Sequence[BroadcastEvent]) -> float:
+    """Broadcast arrival rate ``delta`` (messages/s) of the workload."""
+    if len(events) < 2:
+        return float(bool(events))
+    span = max(e.time for e in events) - min(e.time for e in events)
+    if span <= 0:
+        return float(len(events))
+    return (len(events) - 1) / span
 
 
 def _mean(values: List[float]) -> Optional[float]:

@@ -117,4 +117,8 @@ def average_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
         energy=energy,
         overlay_quality=first.overlay_quality,
         sim_time=sum(r.sim_time for r in results) / len(results),
+        chaos_events=round(sum(r.chaos_events
+                               for r in results) / len(results)),
+        invariant_violations=sum(r.invariant_violations for r in results),
+        violations=[v for r in results for v in r.violations],
     )

@@ -58,7 +58,7 @@ class TraceRecorder:
 
     #: Categories recorded when no filter is supplied.
     ALL_CATEGORIES = ("tx", "rx", "collision", "accept", "suspect",
-                      "trust", "overlay")
+                      "trust", "overlay", "chaos", "violation")
 
     def __init__(self, sim: Simulator,
                  categories: Optional[Iterable[str]] = None,
@@ -107,6 +107,25 @@ class TraceRecorder:
         self.attach_medium(medium)
         for node in nodes:
             self.attach_node(node)
+        return self
+
+    def attach_chaos(self, controller) -> "TraceRecorder":
+        """Record each applied fault of a
+        :class:`repro.chaos.ChaosController`."""
+        controller.add_listener(
+            lambda time, event:
+            self.record("chaos", event.node, action=event.action,
+                        params=dict(event.params)))
+        return self
+
+    def attach_oracle(self, oracle) -> "TraceRecorder":
+        """Record each :class:`repro.chaos.InvariantViolation` as it is
+        observed."""
+        oracle.add_listener(
+            lambda violation:
+            self.record("violation", violation.node,
+                        invariant=violation.invariant,
+                        **dict(violation.detail)))
         return self
 
     # ------------------------------------------------------------------

@@ -66,6 +66,12 @@ class AdversaryMix:
     def mute(count: int, placement: str = "high_id") -> "AdversaryMix":
         return AdversaryMix(counts={"mute": count}, placement=placement)
 
+    @staticmethod
+    def forging(count: int, placement: str = "high_id") -> "AdversaryMix":
+        """Nodes that relay corrupted payloads (the signature-check
+        stressor the oracle's forged-delivery invariant watches)."""
+        return AdversaryMix(counts={"forging": count}, placement=placement)
+
 
 @dataclass(frozen=True)
 class ScenarioConfig:

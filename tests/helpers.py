@@ -115,3 +115,63 @@ def build_network(positions: List[Tuple[float, float]], tx_range: float,
 
 def line_coords(count: int, spacing: float) -> List[Tuple[float, float]]:
     return [(i * spacing, 0.0) for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis generators for chaos schedules
+# ----------------------------------------------------------------------
+#: Behaviour kinds safe to swap in mid-run without extra parameters.
+SWAPPABLE_BEHAVIORS = ("mute", "forging", "selective_drop", "gossip_liar",
+                      "deaf")
+
+
+def fault_events(n: int, horizon: float = 6.0):
+    """Strategy yielding one arbitrary :class:`repro.chaos.FaultEvent`.
+
+    Every generated event is valid in *any* order against a byzcast
+    network of ``n`` nodes: restarts of never-crashed nodes and stops of
+    never-started attackers are no-ops by design, so no cross-event
+    constraints are needed.
+    """
+    from hypothesis import strategies as st
+
+    from repro.adversary.policies import ATTACKER_KINDS
+    from repro.chaos import FaultEvent
+
+    times = st.floats(min_value=0.0, max_value=horizon,
+                      allow_nan=False, allow_infinity=False,
+                      allow_subnormal=False).map(lambda t: round(t, 3))
+    nodes = st.integers(min_value=0, max_value=n - 1)
+
+    def event(action, params=None):
+        return st.builds(
+            lambda t, node, extra: FaultEvent(
+                time=t, node=node, action=action, params=extra),
+            times, nodes,
+            st.fixed_dictionaries(params) if params else st.just({}))
+
+    return st.one_of(
+        event("mute"),
+        event("recover"),
+        event("crash"),
+        event("deaf"),
+        event("hear"),
+        event("attacker_stop"),
+        event("restart", {"reset_state": st.booleans()}),
+        event("tx_power", {"factor": st.floats(
+            min_value=0.3, max_value=1.0,
+            allow_subnormal=False).map(lambda f: round(f, 2))}),
+        event("behavior", {"kind": st.sampled_from(SWAPPABLE_BEHAVIORS)}),
+        event("attacker_start", {"kind": st.sampled_from(ATTACKER_KINDS),
+                                 "rate_hz": st.sampled_from([2.0, 5.0])}),
+    )
+
+
+def fault_schedules(n: int, horizon: float = 6.0, max_events: int = 6):
+    """Strategy yielding an arbitrary :class:`repro.chaos.FaultSchedule`."""
+    from hypothesis import strategies as st
+
+    from repro.chaos import FaultSchedule
+
+    return st.lists(fault_events(n, horizon), max_size=max_events).map(
+        lambda events: FaultSchedule(events=tuple(events)))

@@ -1,0 +1,168 @@
+"""Tests for the fault-timeline replay (repro.chaos.ChaosController)."""
+
+import pytest
+
+from repro.adversary.behaviors import MuteBehavior
+from repro.core.protocol import CorrectBehavior
+from repro.chaos import ChaosController, FaultEvent, FaultSchedule
+from repro.des.random import StreamFactory
+from tests.helpers import build_network, line_coords
+
+
+def make_controller(schedule, count=4, spacing=60.0, tx_range=100.0,
+                    seed=5):
+    sim, medium, nodes, _ = build_network(
+        line_coords(count, spacing), tx_range, seed=seed)
+    controller = ChaosController(sim, nodes, schedule, StreamFactory(seed))
+    return sim, nodes, controller
+
+
+class TestScheduling:
+    def test_events_fire_at_offset_times(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=1.0, node=1, action="mute"),
+            FaultEvent(time=3.0, node=1, action="recover"),
+        ))
+        sim, nodes, controller = make_controller(schedule)
+        controller.start(at=2.0)
+        sim.run(until=4.0)
+        assert [(time, event.action) for time, event in controller.applied] \
+            == [(3.0, "mute")]
+        sim.run(until=6.0)
+        assert [time for time, _ in controller.applied] == [3.0, 5.0]
+
+    def test_unknown_node_rejected_up_front(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=0.0, node=99, action="mute"),))
+        with pytest.raises(ValueError, match=r"unknown nodes \[99\]"):
+            make_controller(schedule)
+
+    def test_listener_sees_each_applied_event(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=1.0, node=0, action="deaf"),
+            FaultEvent(time=2.0, node=0, action="hear"),
+        ))
+        sim, nodes, controller = make_controller(schedule)
+        seen = []
+        controller.add_listener(
+            lambda time, event: seen.append((time, event.action)))
+        controller.start()
+        sim.run(until=5.0)
+        assert seen == [(1.0, "deaf"), (2.0, "hear")]
+
+
+class TestBehaviorFaults:
+    def test_mute_and_recover_swap_the_behavior(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=1.0, node=2, action="mute"),
+            FaultEvent(time=2.0, node=2, action="recover"),
+        ))
+        sim, nodes, controller = make_controller(schedule)
+        controller.start()
+        sim.run(until=1.5)
+        assert isinstance(nodes[2].protocol.behavior, MuteBehavior)
+        sim.run(until=2.5)
+        assert isinstance(nodes[2].protocol.behavior, CorrectBehavior)
+
+    def test_behavior_event_builds_from_kind(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=1.0, node=1, action="behavior",
+                       params={"kind": "selective_drop",
+                               "drop_probability": 1.0}),))
+        sim, nodes, controller = make_controller(schedule)
+        controller.start()
+        sim.run(until=2.0)
+        behavior = nodes[1].protocol.behavior
+        assert type(behavior).__name__ == "SelectiveDropBehavior"
+
+
+class TestCrashRestart:
+    def test_crash_then_restart(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=1.0, node=3, action="crash"),
+            FaultEvent(time=4.0, node=3, action="restart"),
+        ))
+        sim, nodes, controller = make_controller(schedule)
+        controller.start()
+        sim.run(until=2.0)
+        assert nodes[3].crashed
+        sim.run(until=5.0)
+        assert not nodes[3].crashed
+
+    def test_restart_without_crash_is_a_noop(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=1.0, node=0, action="restart"),))
+        sim, nodes, controller = make_controller(schedule)
+        controller.start()
+        sim.run(until=2.0)
+        assert not nodes[0].crashed
+        assert len(controller.applied) == 1
+
+
+class TestRadioFaults:
+    def test_deaf_and_hear_toggle_the_receive_path(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=1.0, node=1, action="deaf"),
+            FaultEvent(time=2.0, node=1, action="hear"),
+        ))
+        sim, nodes, controller = make_controller(schedule)
+        controller.start()
+        sim.run(until=1.5)
+        assert nodes[1].radio.deaf
+        sim.run(until=2.5)
+        assert not nodes[1].radio.deaf
+
+    def test_tx_power_scales_range(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=1.0, node=1, action="tx_power",
+                       params={"factor": 0.5}),))
+        sim, nodes, controller = make_controller(schedule)
+        nominal = nodes[1].radio.tx_range
+        controller.start()
+        sim.run(until=2.0)
+        assert nodes[1].radio.tx_range == pytest.approx(nominal * 0.5)
+
+
+class TestAttackerLifecycle:
+    def test_attacker_started_and_stopped(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=0.5, node=2, action="attacker_start",
+                       params={"kind": "request_flood", "rate_hz": 10.0}),
+            FaultEvent(time=3.0, node=2, action="attacker_stop"),
+        ))
+        sim, nodes, controller = make_controller(schedule)
+        controller.start()
+        sim.run(until=4.0)
+        assert [event.action for _, event in controller.applied] \
+            == ["attacker_start", "attacker_stop"]
+        assert controller._attackers == {}
+
+    def test_attacker_stop_without_start_is_a_noop(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=1.0, node=0, action="attacker_stop"),))
+        sim, nodes, controller = make_controller(schedule)
+        controller.start()
+        sim.run(until=2.0)
+        assert len(controller.applied) == 1
+
+    def test_crash_stops_the_nodes_attacker(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=0.5, node=2, action="attacker_start",
+                       params={"kind": "gossip_flood"}),
+            FaultEvent(time=2.0, node=2, action="crash"),
+        ))
+        sim, nodes, controller = make_controller(schedule)
+        controller.start()
+        sim.run(until=3.0)
+        assert controller._attackers == {}
+
+    def test_stop_detaches_leftover_attackers(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=0.5, node=1, action="attacker_start",
+                       params={"kind": "request_flood"}),))
+        sim, nodes, controller = make_controller(schedule)
+        controller.start()
+        sim.run(until=1.0)
+        assert set(controller._attackers) == {1}
+        controller.stop()
+        assert controller._attackers == {}

@@ -1,0 +1,233 @@
+"""Tests for the run-time invariant oracle (repro.chaos.oracle)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chaos import (
+    FaultEvent,
+    InvariantOracle,
+    OracleConfig,
+    mute_onset,
+)
+from repro.core.config import ProtocolConfig
+from repro.core.messages import MessageId
+from repro.core.node import NetworkNode
+from repro.crypto.keystore import HmacScheme, KeyDirectory
+from repro.des.kernel import Simulator
+from repro.des.random import StreamFactory
+from repro.radio.geometry import Position
+from repro.radio.medium import Medium
+from repro.sim import ExperimentConfig, run_experiment
+from repro.sim.campaign import Campaign, result_to_record
+from repro.workloads.scenarios import AdversaryMix, ScenarioConfig
+
+from tests.helpers import line_coords
+
+
+def bare_oracle(n_fake_nodes=0, **config_kwargs):
+    """An oracle over a bare simulator (no network) for unit checks."""
+    sim = Simulator()
+    nodes = [SimpleNamespace(node_id=i) for i in range(n_fake_nodes)]
+    oracle = InvariantOracle(sim, nodes, ProtocolConfig(), delta=1.0,
+                             config=OracleConfig(**config_kwargs))
+    return sim, oracle
+
+
+class TestUnitChecks:
+    def test_forged_payload_detected(self):
+        sim, oracle = bare_oracle()
+        msg_id = MessageId(0, 1)
+        oracle.on_broadcast(msg_id, b"genuine", 0.0)
+        oracle.accept_listener(3, 0, b"tampered", msg_id)
+        assert oracle.summary() == {"forged_payload": 1}
+
+    def test_matching_payload_clean(self):
+        sim, oracle = bare_oracle()
+        msg_id = MessageId(0, 1)
+        oracle.on_broadcast(msg_id, b"genuine", 0.0)
+        oracle.accept_listener(3, 0, b"genuine", msg_id)
+        assert oracle.violation_count == 0
+
+    def test_duplicate_delivery_detected(self):
+        sim, oracle = bare_oracle()
+        msg_id = MessageId(0, 1)
+        oracle.on_broadcast(msg_id, b"x", 0.0)
+        oracle.accept_listener(3, 0, b"x", msg_id)
+        oracle.accept_listener(3, 0, b"x", msg_id)
+        assert oracle.summary() == {"duplicate_delivery": 1}
+
+    def test_state_reset_legitimises_redelivery(self):
+        sim, oracle = bare_oracle()
+        msg_id = MessageId(0, 1)
+        oracle.on_broadcast(msg_id, b"x", 0.0)
+        oracle.accept_listener(3, 0, b"x", msg_id)
+        oracle.note_state_reset(3)
+        oracle.accept_listener(3, 0, b"x", msg_id)
+        assert oracle.violation_count == 0
+
+    def test_restart_fault_clears_via_chaos_listener(self):
+        sim, oracle = bare_oracle()
+        msg_id = MessageId(0, 1)
+        oracle.on_broadcast(msg_id, b"x", 0.0)
+        oracle.accept_listener(3, 0, b"x", msg_id)
+        oracle.chaos_listener(5.0, FaultEvent(time=5.0, node=3,
+                                              action="restart"))
+        oracle.accept_listener(3, 0, b"x", msg_id)
+        assert oracle.violation_count == 0
+        assert 3 in oracle.exempt
+
+    def test_late_delivery_violates_latency_bound(self):
+        sim, oracle = bare_oracle()
+        msg_id = MessageId(0, 1)
+        oracle.on_broadcast(msg_id, b"x", 0.0)
+        sim.schedule_at(oracle.latency_bound + 50.0, lambda: None)
+        sim.run()
+        oracle.accept_listener(3, 0, b"x", msg_id)
+        assert oracle.summary() == {"latency_bound": 1}
+        detail = oracle.violations[0].detail
+        assert detail["latency"] > detail["bound"]
+
+    def test_latency_check_skips_exempt_nodes(self):
+        sim, oracle = bare_oracle()
+        oracle.chaos_listener(0.0, FaultEvent(time=0.0, node=3,
+                                              action="mute"))
+        msg_id = MessageId(0, 1)
+        oracle.on_broadcast(msg_id, b"x", 0.0)
+        sim.schedule_at(oracle.latency_bound + 50.0, lambda: None)
+        sim.run()
+        oracle.accept_listener(3, 0, b"x", msg_id)
+        assert oracle.violation_count == 0
+
+    def test_listener_notified_per_violation(self):
+        sim, oracle = bare_oracle()
+        seen = []
+        oracle.add_listener(lambda v: seen.append(v.invariant))
+        msg_id = MessageId(0, 1)
+        oracle.on_broadcast(msg_id, b"x", 0.0)
+        oracle.accept_listener(3, 0, b"bad", msg_id)
+        assert seen == ["forged_payload"]
+
+    def test_record_limit_caps_storage_not_count(self):
+        sim, oracle = bare_oracle(record_limit=2)
+        msg_id = MessageId(0, 1)
+        oracle.on_broadcast(msg_id, b"x", 0.0)
+        for receiver in range(3, 8):
+            oracle.accept_listener(receiver, 0, b"bad", msg_id)
+        assert oracle.violation_count == 5
+        assert len(oracle.violations) == 2
+
+
+class TestBufferSampling:
+    def fake_node(self, node_id, occupancy, crashed=False):
+        store = SimpleNamespace(buffered_count=occupancy)
+        return SimpleNamespace(node_id=node_id,
+                               protocol=SimpleNamespace(store=store),
+                               crashed=crashed)
+
+    def test_overflow_flagged_once(self):
+        sim = Simulator()
+        node = self.fake_node(0, occupancy=999)
+        oracle = InvariantOracle(
+            sim, [node], ProtocolConfig(), delta=0.0,
+            config=OracleConfig(buffer_sample_period=1.0, buffer_slack=2))
+        assert oracle.buffer_bound == 2
+        oracle.start()
+        sim.run(until=5.0)       # five samples, one flag
+        oracle.stop()
+        assert oracle.summary() == {"buffer_bound": 1}
+        assert oracle.violations[0].detail["occupancy"] == 999
+
+    def test_within_bound_and_crashed_nodes_clean(self):
+        sim = Simulator()
+        nodes = [self.fake_node(0, occupancy=1),
+                 self.fake_node(1, occupancy=999, crashed=True)]
+        oracle = InvariantOracle(
+            sim, nodes, ProtocolConfig(), delta=0.0,
+            config=OracleConfig(buffer_sample_period=1.0, buffer_slack=2))
+        oracle.start()
+        sim.run(until=3.0)
+        oracle.stop()
+        assert oracle.violation_count == 0
+
+
+class BrokenDeliveryNode(NetworkNode):
+    """Test-only sabotage: delivers every accept twice, corrupted.
+
+    Exists to prove the oracle *fires* — the real stack's signature
+    verification and duplicate filtering make these violations otherwise
+    unreachable.
+    """
+
+    def _on_accept(self, originator, payload, msg_id):
+        super()._on_accept(originator, b"corrupt:" + payload, msg_id)
+        super()._on_accept(originator, b"corrupt:" + payload, msg_id)
+
+
+class TestOracleFires:
+    def test_broken_delivery_node_is_caught(self):
+        sim = Simulator()
+        streams = StreamFactory(9)
+        medium = Medium(sim, streams.stream("medium"))
+        directory = KeyDirectory(HmacScheme(seed=b"broken"))
+        nodes = []
+        for node_id, (x, y) in enumerate(line_coords(3, 70.0)):
+            cls = BrokenDeliveryNode if node_id == 2 else NetworkNode
+            nodes.append(cls(sim, medium, node_id, Position(x, y), 100.0,
+                             streams, directory, None))
+        oracle = InvariantOracle(sim, nodes, ProtocolConfig(), delta=1.0)
+        oracle.attach_network(nodes)
+        for node in nodes:
+            node.start()
+        sim.run(until=6.0)
+        payload = b"the-truth"
+        msg_id = nodes[0].broadcast(payload)
+        oracle.on_broadcast(msg_id, payload, sim.now)
+        sim.run(until=12.0)
+        summary = oracle.summary()
+        assert summary.get("forged_payload", 0) >= 1
+        assert summary.get("duplicate_delivery", 0) >= 1
+        clean = [v for v in oracle.violations if v.node != 2]
+        assert clean == []       # only the sabotaged node is implicated
+
+
+class TestExperimentRegression:
+    def test_forging_adversaries_cause_zero_violations(self):
+        """Seeded forging-adversary run: corrupted relays never reach the
+        application layer, so the oracle stays silent (safety regression
+        demanded by the chaos issue)."""
+        config = ExperimentConfig(
+            scenario=ScenarioConfig(n=12, seed=7,
+                                    adversaries=AdversaryMix.forging(2)),
+            oracle=OracleConfig(),
+            warmup=6.0, message_count=3, message_interval=1.5, drain=10.0)
+        result = run_experiment(config)
+        assert result.byzantine == 2
+        assert result.invariant_violations == 0
+        assert result.violations == []
+
+    def test_midrun_mute_schedule_zero_violations(self):
+        config = ExperimentConfig(
+            scenario=ScenarioConfig(n=12, seed=5),
+            chaos=mute_onset([10, 11], onset=1.0, recovery=6.0),
+            oracle=OracleConfig(),
+            warmup=6.0, message_count=3, message_interval=1.5, drain=12.0)
+        result = run_experiment(config)
+        assert result.chaos_events == 4
+        assert result.invariant_violations == 0
+
+    def test_campaign_record_carries_violation_columns(self, tmp_path):
+        config = ExperimentConfig(
+            scenario=ScenarioConfig(n=10, seed=2),
+            chaos=mute_onset([9], onset=1.0),
+            oracle=OracleConfig(),
+            warmup=5.0, message_count=2, message_interval=1.0, drain=8.0)
+        campaign = Campaign(str(tmp_path / "runs"))
+        executed, skipped = campaign.run([config])
+        assert (executed, skipped) == (1, 0)
+        record = campaign.records()[0]
+        assert record["invariant_violations"] == 0
+        assert record["violations"] == []
+        assert record["chaos_events"] == 1
+        rows = campaign.rows("protocol", "invariant_violations")
+        assert rows == [{"protocol": "byzcast", "invariant_violations": 0}]

@@ -1,0 +1,148 @@
+"""Unit tests for declarative fault schedules (repro.chaos.schedule)."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    FAULT_ACTIONS,
+    FaultEvent,
+    FaultSchedule,
+    behavior_window,
+    crash_restart,
+    mute_onset,
+)
+
+
+class TestFaultEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent(time=-1.0, node=0, action="mute")
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent(time=0.0, node=-2, action="mute")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultEvent(time=0.0, node=0, action="explode")
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ValueError, match="does not accept params"):
+            FaultEvent(time=0.0, node=0, action="mute",
+                       params={"volume": 11})
+
+    def test_behavior_requires_kind(self):
+        with pytest.raises(ValueError, match="'kind'"):
+            FaultEvent(time=0.0, node=0, action="behavior")
+
+    def test_behavior_passes_open_params(self):
+        event = FaultEvent(time=0.0, node=0, action="behavior",
+                           params={"kind": "selective_drop",
+                                   "drop_probability": 0.5})
+        assert event.params["kind"] == "selective_drop"
+
+    def test_every_declared_action_constructs(self):
+        for action in FAULT_ACTIONS:
+            params = {"kind": "mute"} if action == "behavior" else {}
+            FaultEvent(time=1.0, node=3, action=action, params=params)
+
+
+class TestFaultEventDicts:
+    def test_round_trip(self):
+        event = FaultEvent(time=2.5, node=7, action="tx_power",
+                           params={"factor": 0.5})
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_params_omitted_when_empty(self):
+        assert "params" not in FaultEvent(time=0, node=0,
+                                          action="crash").to_dict()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-event keys"):
+            FaultEvent.from_dict({"time": 0, "node": 0, "action": "mute",
+                                  "reason": "testing"})
+
+
+class TestFaultSchedule:
+    def test_empty_is_falsy(self):
+        schedule = FaultSchedule()
+        assert not schedule
+        assert len(schedule) == 0
+        assert schedule.horizon == 0.0
+        assert schedule.nodes() == []
+
+    def test_horizon_and_nodes(self):
+        schedule = FaultSchedule(events=(
+            FaultEvent(time=4.0, node=2, action="mute"),
+            FaultEvent(time=1.0, node=5, action="crash"),
+            FaultEvent(time=2.0, node=2, action="recover"),
+        ))
+        assert schedule.horizon == 4.0
+        assert schedule.nodes() == [2, 5]
+
+    def test_extended_appends_without_mutating(self):
+        base = FaultSchedule(events=(
+            FaultEvent(time=0.0, node=1, action="mute"),))
+        extra = base.extended(FaultEvent(time=1.0, node=1, action="recover"))
+        assert len(base) == 1
+        assert len(extra) == 2
+
+    def test_events_coerced_to_tuple(self):
+        schedule = FaultSchedule(
+            events=[FaultEvent(time=0.0, node=0, action="deaf")])
+        assert isinstance(schedule.events, tuple)
+
+    def test_json_round_trip(self):
+        schedule = mute_onset([3, 4], onset=2.0, recovery=9.0).extended(
+            FaultEvent(time=1.0, node=0, action="attacker_start",
+                       params={"kind": "gossip_flood", "rate_hz": 4.0}))
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_from_file(self, tmp_path):
+        schedule = crash_restart([1], crash_at=2.0, restart_at=6.0)
+        path = tmp_path / "spec.json"
+        path.write_text(schedule.to_json())
+        assert FaultSchedule.from_file(str(path)) == schedule
+
+    def test_unknown_top_level_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-schedule keys"):
+            FaultSchedule.from_dict({"events": [], "version": 2})
+
+    def test_example_spec_parses(self):
+        from pathlib import Path
+        spec = (Path(__file__).resolve().parents[1] / "examples"
+                / "chaos_mute_onset.json")
+        schedule = FaultSchedule.from_file(str(spec))
+        actions = {event.action for event in schedule.events}
+        assert actions == {"mute", "recover"}
+
+
+class TestPresets:
+    def test_mute_onset_orders_recovery_after_onset(self):
+        with pytest.raises(ValueError, match="after onset"):
+            mute_onset([1], onset=5.0, recovery=5.0)
+
+    def test_mute_onset_deduplicates_nodes(self):
+        schedule = mute_onset([2, 2, 1], onset=1.0)
+        assert [event.node for event in schedule.events] == [1, 2]
+
+    def test_crash_restart_carries_reset_flag(self):
+        schedule = crash_restart([0], crash_at=1.0, restart_at=3.0,
+                                 reset_state=False)
+        restart = schedule.events[-1]
+        assert restart.action == "restart"
+        assert restart.params["reset_state"] is False
+
+    def test_crash_restart_ordering_enforced(self):
+        with pytest.raises(ValueError, match="after the crash"):
+            crash_restart([0], crash_at=3.0, restart_at=2.0)
+
+    def test_behavior_window_recovers_at_end(self):
+        schedule = behavior_window(4, "forging", start=1.0, end=5.0)
+        assert [event.action for event in schedule.events] \
+            == ["behavior", "recover"]
+
+    def test_behavior_window_ordering_enforced(self):
+        with pytest.raises(ValueError, match="after start"):
+            behavior_window(4, "forging", start=5.0, end=1.0)

@@ -93,3 +93,40 @@ class TestCompareCommand:
         for protocol in ("byzcast", "flooding", "overlay_only",
                          "multi_overlay"):
             assert protocol in output
+        assert "invariant_violations" in output
+
+
+class TestChaosOptions:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.chaos is None
+        assert args.oracle is False
+
+    def test_oracle_run_reports_zero_violations(self):
+        code, output = run_cli([
+            "run", "--n", "10", "--messages", "2", "--seed", "3",
+            "--warmup", "5", "--drain", "8", "--interval", "1.0",
+            "--oracle"])
+        assert code == 0
+        assert "invariant violations: 0" in output
+
+    def test_chaos_run_applies_schedule(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"events": ['
+            '{"time": 1.0, "node": 8, "action": "mute"},'
+            '{"time": 4.0, "node": 8, "action": "recover"}]}')
+        code, output = run_cli([
+            "run", "--n", "10", "--messages", "2", "--seed", "3",
+            "--warmup", "5", "--drain", "8", "--interval", "1.0",
+            "--chaos", str(spec)])
+        assert code == 0
+        assert "chaos: 2 fault events applied" in output
+        assert "invariant violations: 0" in output
+
+    def test_without_oracle_no_violation_report(self):
+        code, output = run_cli([
+            "run", "--n", "10", "--messages", "2", "--seed", "3",
+            "--warmup", "5", "--drain", "8", "--interval", "1.0"])
+        assert code == 0
+        assert "invariant violations" not in output
