@@ -49,6 +49,7 @@ _EXPERIMENTS = (
     ("A4", "DSA vs HMAC crypto cost", "test_a4_crypto_cost.py"),
     ("A5", "line-29 discrepancy", "test_a5_line29_discrepancy.py"),
     ("A6", "timeout vs stability purging", "test_a6_stability_purge.py"),
+    ("A7", "verified-signature cache", "test_a7_verify_cache.py"),
 )
 
 
@@ -100,6 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--oracle", action="store_true",
                        help="check run-time invariants (forged/duplicate "
                             "delivery, latency and buffer bounds)")
+        p.add_argument("--scheme", choices=("hmac", "dsa"), default="hmac",
+                       help="signature scheme: hmac oracle (fast, default) "
+                            "or real DSA (the paper's choice)")
+        p.add_argument("--profile", action="store_true",
+                       help="collect and print the per-phase cost profile "
+                            "(crypto/codec/medium/kernel)")
+        p.add_argument("--verify-cache", type=int, default=1024,
+                       metavar="SIZE",
+                       help="per-node verified-signature LRU entries "
+                            "(0 disables; default 1024)")
+        p.add_argument("--no-wire-cache", action="store_true",
+                       help="disable the encode-once wire-frame cache")
 
     run_p = sub.add_parser("run", help="run one experiment")
     add_scenario_args(run_p)
@@ -150,7 +163,10 @@ def _config_from(args: argparse.Namespace, protocol: str,
                  scenario: ScenarioConfig) -> ExperimentConfig:
     stack = NodeStackConfig(
         overlay_rule=args.rule,
-        protocol=ProtocolConfig(gossip_period=args.gossip_period))
+        protocol=ProtocolConfig(
+            gossip_period=args.gossip_period,
+            verify_cache_size=getattr(args, "verify_cache", 1024),
+            wire_cache=not getattr(args, "no_wire_cache", False)))
     chaos = (FaultSchedule.from_file(args.chaos)
              if getattr(args, "chaos", None) else None)
     oracle = (OracleConfig()
@@ -159,7 +175,9 @@ def _config_from(args: argparse.Namespace, protocol: str,
         scenario=scenario, protocol=protocol, stack=stack,
         message_count=args.messages, message_interval=args.interval,
         warmup=args.warmup, drain=args.drain,
-        chaos=chaos, oracle=oracle)
+        chaos=chaos, oracle=oracle,
+        signature_scheme=getattr(args, "scheme", "hmac"),
+        profile=getattr(args, "profile", False))
 
 
 def _print_report(result, out, *, oracle: bool = False) -> None:
@@ -181,6 +199,11 @@ def _print_report(result, out, *, oracle: bool = False) -> None:
     for key, value in sorted(result.physical.items()):
         if key.startswith("tx_"):
             print(f"  {key[3:]:<14}{value:>8.0f}", file=out)
+    if result.profile:
+        print("\nper-phase cost profile:", file=out)
+        for phase, stats in sorted(result.profile.items()):
+            print(f"  {phase:<18}{stats['count']:>10.0f} calls"
+                  f"{stats['seconds'] * 1e3:>12.3f} ms", file=out)
     if result.chaos_events:
         print(f"\nchaos: {result.chaos_events} fault events applied",
               file=out)

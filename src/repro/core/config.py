@@ -93,6 +93,18 @@ class ProtocolConfig:
     #: into the VERBOSE detector at initialization time.
     gossip_min_spacing_factor: float = 0.25
 
+    # --- hot-path caches -------------------------------------------------
+    #: Entries in the per-node verified-signature LRU (0 disables).  Only
+    #: *positive* results of a full verification are memoized, keyed on
+    #: the exact (signer, message bytes, signature bytes) digest, so the
+    #: cache cannot change any verification outcome — it only skips
+    #: recomputing DSA/HMAC for tuples this node already verified.
+    verify_cache_size: int = 1024
+    #: Memoize wire-frame encodings of immutable protocol messages (the
+    #: encode-once fast path in :mod:`repro.core.wire`).  Semantics-free:
+    #: encoding is a pure function of the frozen message.
+    wire_cache: bool = True
+
     def __post_init__(self) -> None:
         if self.gossip_period <= 0:
             raise ValueError("gossip_period must be positive")
@@ -104,6 +116,8 @@ class ProtocolConfig:
             raise ValueError("find_ttl must be >= 1")
         if self.gossip_aggregation_limit < 1:
             raise ValueError("gossip_aggregation_limit must be >= 1")
+        if self.verify_cache_size < 0:
+            raise ValueError("verify_cache_size must be >= 0")
 
     def max_timeout(self, transmission_time: float = 0.01) -> float:
         """§3.5's ``max_timeout = gossip_timeout + request_timeout +

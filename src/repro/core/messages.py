@@ -48,6 +48,22 @@ REQUEST_MSG = "request"
 FIND_MISSING_MSG = "find_missing"
 
 
+def _signed_bytes(message: Any) -> bytes:
+    """Canonical signed bytes of a message, memoized on the instance.
+
+    Messages are frozen, so their ``signed_fields`` never change; the
+    canonical encoding is computed once per object and reused by every
+    subsequent ``verify`` (a node re-verifies the same gossip entry on
+    every gossip period).  The memo is identity-keyed — it lives on the
+    instance — so it cannot leak across distinct messages.
+    """
+    cached = getattr(message, "_signed_cache", None)
+    if cached is None:
+        cached = encode_fields(message.signed_fields())
+        object.__setattr__(message, "_signed_cache", cached)
+    return cached
+
+
 class MessageId(NamedTuple):
     """Globally unique message identifier: (originator, sequence number)."""
 
@@ -87,8 +103,7 @@ class DataMessage:
 
     def verify(self, directory: KeyDirectory) -> bool:
         return directory.verify(self.msg_id.originator,
-                                encode_fields(self.signed_fields()),
-                                self.signature)
+                                _signed_bytes(self), self.signature)
 
     def with_ttl(self, ttl: int) -> "DataMessage":
         return replace(self, ttl=ttl)
@@ -140,8 +155,7 @@ class GossipMessage:
 
     def verify(self, directory: KeyDirectory) -> bool:
         return directory.verify(self.msg_id.originator,
-                                encode_fields(self.signed_fields()),
-                                self.signature)
+                                _signed_bytes(self), self.signature)
 
     @staticmethod
     def create(signer: Signer, seq: int) -> "GossipMessage":
@@ -198,8 +212,7 @@ class RequestMessage:
         if not self.gossip.verify(directory):
             return False
         return directory.verify(self.requester,
-                                encode_fields(self.signed_fields()),
-                                self.signature)
+                                _signed_bytes(self), self.signature)
 
     @staticmethod
     def create(signer: Signer, gossip: GossipMessage,
@@ -244,8 +257,7 @@ class FindMissingMessage:
         if not self.gossip.verify(directory):
             return False
         return directory.verify(self.initiator,
-                                encode_fields(self.signed_fields()),
-                                self.signature)
+                                _signed_bytes(self), self.signature)
 
     def with_ttl(self, ttl: int) -> "FindMissingMessage":
         return replace(self, ttl=ttl)

@@ -104,8 +104,16 @@ class NetworkNode:
             make_election_rule(stack.overlay_rule),
             streams.stream(f"overlay:{node_id}"), stack.overlay,
             force_active=force_overlay)
+        # The protocol verifies through this node's own caching view of
+        # the shared directory (per-node verified-signature LRU).  Hello
+        # beacons keep the plain directory: every (sender, seq) beacon is
+        # unique, so caching them would only add eviction pressure.
+        proto_directory = directory
+        if stack.protocol.verify_cache_size > 0:
+            proto_directory = directory.caching_view(
+                stack.protocol.verify_cache_size)
         self.protocol = ByzantineBroadcastProtocol(
-            sim, node_id, self.radio, directory, signer,
+            sim, node_id, self.radio, proto_directory, signer,
             self.mute, self.verbose, self.trust,
             ManagerOverlayPort(self.overlay),
             self.neighbors.neighbors,

@@ -167,6 +167,9 @@ class ProtocolStats:
     finds_served: int = 0
     messages_purged: int = 0
     max_buffer: int = 0
+    # Verified-signature cache counters (0/0 when the node has no cache).
+    verify_cache_hits: int = 0
+    verify_cache_misses: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -210,7 +213,10 @@ class ByzantineBroadcastProtocol:
         self._forward_expectations: Dict[MessageId, object] = {}
         # (requester, msg_id) → times they asked; indicts past a threshold.
         self._request_counts: Dict[Tuple[int, MessageId], int] = {}
-        self.stats = ProtocolStats()
+        # Present when the directory is this node's caching view
+        # (see repro.crypto.verifycache); stats reads sync its counters.
+        self._verify_cache = getattr(directory, "cache", None)
+        self._stats = ProtocolStats()
         self._gossip_task = PeriodicTask(
             sim, config.gossip_period, self._gossip_round,
             jitter=0.25, rng=rng)
@@ -225,6 +231,18 @@ class ByzantineBroadcastProtocol:
             GOSSIP, config.gossip_min_spacing_factor * config.gossip_period)
 
     # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ProtocolStats:
+        """Protocol counters, with verify-cache counters synced in."""
+        if self._verify_cache is not None:
+            self._stats.verify_cache_hits = self._verify_cache.hits
+            self._stats.verify_cache_misses = self._verify_cache.misses
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: ProtocolStats) -> None:
+        self._stats = value
+
     @property
     def node_id(self) -> int:
         return self._node_id
@@ -273,7 +291,11 @@ class ByzantineBroadcastProtocol:
         self._recovery_expectations.clear()
         self._forward_expectations.clear()
         self._request_counts.clear()
-        self.stats = ProtocolStats()
+        if self._verify_cache is not None:
+            # A crash loses RAM: previously verified signatures must be
+            # re-verified from scratch after a restart.
+            self._verify_cache.clear()
+        self._stats = ProtocolStats()
 
     def set_accept_callback(self, callback: AcceptCallback) -> None:
         self._accept_callback = callback
@@ -470,7 +492,7 @@ class ByzantineBroadcastProtocol:
             return
         request = RequestMessage.create(self._signer, gossip, target)
         self.stats.requests_sent += 1
-        self._send(request, REQUEST_MSG, wire.wire_size(request),
+        self._send(request, REQUEST_MSG, self._wire_size(request),
                    link_dest=target)
 
     # ------------------------------------------------------------------
@@ -523,7 +545,7 @@ class ByzantineBroadcastProtocol:
                 self._signer, request.gossip,
                 claimed_holder=request.target, ttl=self._config.find_ttl)
             self.stats.finds_initiated += 1
-            self._send(find, FIND_MISSING_MSG, wire.wire_size(find))
+            self._send(find, FIND_MISSING_MSG, self._wire_size(find))
 
     # ------------------------------------------------------------------
     # FIND_MISSING_MSG handler (lines 62-81)
@@ -547,7 +569,7 @@ class ByzantineBroadcastProtocol:
                     self.stats.finds_forwarded += 1
                     forwarded = find.with_ttl(find.ttl - 1)
                     self._send(forwarded, FIND_MISSING_MSG,
-                               wire.wire_size(forwarded))
+                               self._wire_size(forwarded))
             return
         # Lines 67-78: we have it.
         if not (self._overlay.is_member()
@@ -598,13 +620,16 @@ class ByzantineBroadcastProtocol:
     # ------------------------------------------------------------------
     def _send_data(self, message: DataMessage,
                    link_dest: int = BROADCAST) -> None:
-        self._send(message, DATA, wire.wire_size(message),
+        self._send(message, DATA, self._wire_size(message),
                    link_dest=link_dest)
 
     def _send_gossip_packet(self, entries: List[GossipMessage]) -> None:
         packet = GossipPacket(entries=tuple(entries))
-        if self._send(packet, GOSSIP, wire.wire_size(packet)):
+        if self._send(packet, GOSSIP, self._wire_size(packet)):
             self.stats.gossip_packets_sent += 1
+
+    def _wire_size(self, message: Any) -> int:
+        return wire.wire_size(message, cache=self._config.wire_cache)
 
     def _send(self, message: Any, kind: str, size: int,
               link_dest: int = BROADCAST) -> bool:

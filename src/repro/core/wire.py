@@ -4,13 +4,23 @@ Maps every protocol message to/from bytes via the TLV codec
 (:mod:`repro.codec`), giving the simulator *exact* packet sizes instead of
 header-size estimates.  Decoding validates structure strictly — malformed
 bytes raise, which models a parser that drops garbage frames.
+
+Encode-once fast path: protocol messages are frozen (immutable, hashable)
+dataclasses, so a message's wire bytes are a pure function of its identity
+and can be memoized.  A node both sizes (``wire_size``) and transmits
+(``encode_message``) the same object, and gossip packets rebuilt from the
+same entries compare equal — the cache collapses all of those into one
+TLV encoding.  :class:`~repro.radio.neighbors.HelloMessage` carries a
+plain-dict ``extras`` field (unhashable) and is deliberately excluded.
 """
 
 from __future__ import annotations
 
-from typing import Any, Union
+from collections import OrderedDict
+from time import perf_counter
+from typing import Any, Tuple, Union
 
-from .. import codec
+from .. import codec, profiling
 from ..radio.neighbors import HelloMessage
 from .messages import (
     DataMessage,
@@ -21,7 +31,8 @@ from .messages import (
     RequestMessage,
 )
 
-__all__ = ["encode_message", "decode_message", "wire_size", "WireError"]
+__all__ = ["encode_message", "decode_message", "wire_size", "WireError",
+           "configure_cache", "cache_info"]
 
 WireMessage = Union[DataMessage, GossipPacket, RequestMessage,
                     FindMissingMessage, HelloMessage]
@@ -32,6 +43,30 @@ class WireError(ValueError):
 
 
 _DATA, _GOSSIP_PKT, _REQUEST, _FIND, _HELLO = "D", "G", "R", "F", "H"
+
+#: Message types whose encodings may be memoized: frozen, fully hashable.
+_CACHEABLE = (DataMessage, GossipPacket, RequestMessage, FindMissingMessage)
+
+_CACHE_CAPACITY = 4096
+_cache: "OrderedDict[WireMessage, bytes]" = OrderedDict()
+_cache_hits = 0
+_cache_misses = 0
+
+
+def configure_cache(capacity: int) -> None:
+    """Resize (and clear) the encode-once cache; 0 disables it globally."""
+    global _CACHE_CAPACITY, _cache_hits, _cache_misses
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0: {capacity}")
+    _CACHE_CAPACITY = capacity
+    _cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def cache_info() -> Tuple[int, int, int, int]:
+    """``(hits, misses, current_size, capacity)`` of the encode cache."""
+    return _cache_hits, _cache_misses, len(_cache), _CACHE_CAPACITY
 
 
 def _gossip_fields(gossip: GossipMessage) -> list:
@@ -51,8 +86,43 @@ def _expect(condition: bool, message: str) -> None:
         raise WireError(message)
 
 
-def encode_message(message: WireMessage) -> bytes:
-    """Serialize any protocol message to its exact wire bytes."""
+def encode_message(message: WireMessage, *, cache: bool = True) -> bytes:
+    """Serialize any protocol message to its exact wire bytes.
+
+    ``cache=True`` (the default) memoizes encodings of immutable message
+    types in a bounded module-level LRU; pass ``cache=False`` to force a
+    fresh encoding (ablation / tests).
+    """
+    global _cache_hits, _cache_misses
+    if cache and _CACHE_CAPACITY > 0 and isinstance(message, _CACHEABLE):
+        encoded = _cache.get(message)
+        if encoded is not None:
+            _cache.move_to_end(message)
+            _cache_hits += 1
+            prof = profiling.ACTIVE
+            if prof is not None:
+                prof.add("codec.encode_hit")
+            return encoded
+        _cache_misses += 1
+        encoded = _encode_uncached(message)
+        _cache[message] = encoded
+        if len(_cache) > _CACHE_CAPACITY:
+            _cache.popitem(last=False)
+        return encoded
+    return _encode_uncached(message)
+
+
+def _encode_uncached(message: WireMessage) -> bytes:
+    prof = profiling.ACTIVE
+    if prof is None:
+        return _encode_body(message)
+    start = perf_counter()
+    encoded = _encode_body(message)
+    prof.add("codec.encode", perf_counter() - start)
+    return encoded
+
+
+def _encode_body(message: WireMessage) -> bytes:
     if isinstance(message, DataMessage):
         body = [_DATA, message.msg_id.originator, message.msg_id.seq,
                 message.payload, message.signature, message.ttl,
@@ -81,6 +151,16 @@ def encode_message(message: WireMessage) -> bytes:
 
 def decode_message(data: bytes) -> WireMessage:
     """Parse wire bytes back into a message object (strict)."""
+    prof = profiling.ACTIVE
+    if prof is None:
+        return _decode_body(data)
+    start = perf_counter()
+    message = _decode_body(data)
+    prof.add("codec.decode", perf_counter() - start)
+    return message
+
+
+def _decode_body(data: bytes) -> WireMessage:
     try:
         body = codec.decode(data)
     except codec.CodecError as exc:
@@ -137,6 +217,6 @@ def _freeze_extras(extras: dict) -> dict:
     return {key: freeze(value) for key, value in extras.items()}
 
 
-def wire_size(message: WireMessage) -> int:
+def wire_size(message: WireMessage, *, cache: bool = True) -> int:
     """Exact on-air size of the message in bytes."""
-    return len(encode_message(message))
+    return len(encode_message(message, cache=cache))

@@ -19,8 +19,11 @@ from .keystore import (
     SignatureScheme,
     Signer,
 )
+from .verifycache import CachingKeyDirectory, VerifyCache
 
 __all__ = [
+    "CachingKeyDirectory",
+    "VerifyCache",
     "DsaParameters",
     "DsaPrivateKey",
     "DsaPublicKey",

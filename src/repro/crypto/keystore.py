@@ -25,8 +25,10 @@ from __future__ import annotations
 import hashlib
 import hmac
 from abc import ABC, abstractmethod
+from time import perf_counter
 from typing import Dict, Optional
 
+from .. import profiling
 from . import dsa
 
 __all__ = ["Signer", "SignatureScheme", "DsaScheme", "HmacScheme",
@@ -46,7 +48,13 @@ class Signer:
 
     def sign(self, message: bytes) -> bytes:
         """Signature bytes over ``message`` under this identity's key."""
-        return self._scheme._sign(self._node_id, message)
+        prof = profiling.ACTIVE
+        if prof is None:
+            return self._scheme._sign(self._node_id, message)
+        start = perf_counter()
+        signature = self._scheme._sign(self._node_id, message)
+        prof.add("crypto.sign", perf_counter() - start)
+        return signature
 
 
 class SignatureScheme(ABC):
@@ -177,4 +185,18 @@ class KeyDirectory:
         return self._scheme.register(node_id)
 
     def verify(self, node_id: int, message: bytes, signature: bytes) -> bool:
-        return self._scheme.verify(node_id, message, signature)
+        prof = profiling.ACTIVE
+        if prof is None:
+            return self._scheme.verify(node_id, message, signature)
+        start = perf_counter()
+        ok = self._scheme.verify(node_id, message, signature)
+        prof.add("crypto.verify", perf_counter() - start)
+        return ok
+
+    def caching_view(self, size: int) -> "KeyDirectory":
+        """A per-node verifying view with a bounded verified-signature
+        LRU (see :mod:`repro.crypto.verifycache`).  Only positive
+        results of full verification are memoized; negatives always
+        re-fail, so Byzantine accounting is unaffected."""
+        from .verifycache import CachingKeyDirectory
+        return CachingKeyDirectory(self, size)

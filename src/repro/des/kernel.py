@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import heapq
 import math
+from time import perf_counter
 from typing import Any, Callable, List, Optional
+
+from .. import profiling
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -143,7 +146,15 @@ class Simulator:
             self._now = event.time
             event.cancelled = True  # mark fired; `active` becomes False
             self._events_fired += 1
-            event.callback(*event.args)
+            prof = profiling.ACTIVE
+            if prof is None:
+                event.callback(*event.args)
+            else:
+                # kernel.event is inclusive: it contains every phase
+                # nested under the callback (crypto, codec, medium, ...).
+                start = perf_counter()
+                event.callback(*event.args)
+                prof.add("kernel.event", perf_counter() - start)
             return True
         return False
 

@@ -19,8 +19,10 @@ between attached radios and reports events to observers (metrics).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import profiling
 from ..des.kernel import Simulator
 from ..des.random import RandomStream
 from .geometry import Position
@@ -273,6 +275,15 @@ class Medium:
     # Reception resolution
     # ------------------------------------------------------------------
     def _complete(self, tx: Transmission) -> None:
+        prof = profiling.ACTIVE
+        if prof is None:
+            self._complete_body(tx)
+            return
+        start = perf_counter()
+        self._complete_body(tx)
+        prof.add("medium.complete", perf_counter() - start)
+
+    def _complete_body(self, tx: Transmission) -> None:
         tx.completed = True
         radios = self._radios
         for node_id in self._candidate_ids(tx):

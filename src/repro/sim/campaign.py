@@ -66,6 +66,7 @@ def result_to_record(config: ExperimentConfig,
         "chaos_events": result.chaos_events,
         "invariant_violations": result.invariant_violations,
         "violations": _jsonable(result.violations),
+        "profile": _jsonable(result.profile),
         "physical": _jsonable(result.physical),
         "energy": _jsonable(result.energy),
         "overlay_quality": _jsonable(result.overlay_quality),

@@ -34,9 +34,10 @@ from ..chaos import (
     InvariantOracle,
     OracleConfig,
 )
+from .. import profiling
 from ..core.messages import MessageId
 from ..core.node import NetworkNode, NodeStackConfig
-from ..crypto.keystore import HmacScheme, KeyDirectory
+from ..crypto.keystore import DsaScheme, HmacScheme, KeyDirectory
 from ..des.kernel import Simulator
 from ..des.random import StreamFactory
 from ..metrics.collector import MetricsCollector
@@ -57,9 +58,11 @@ from ..workloads.scenarios import ScenarioConfig
 from ..workloads.sources import BroadcastEvent, periodic_source
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment",
-           "run_many", "PROTOCOLS"]
+           "run_many", "PROTOCOLS", "SCHEMES"]
 
 PROTOCOLS = ("byzcast", "flooding", "overlay_only", "multi_overlay")
+
+SCHEMES = ("hmac", "dsa")
 
 
 @dataclass(frozen=True)
@@ -81,11 +84,22 @@ class ExperimentConfig:
     chaos: Optional[FaultSchedule] = None
     #: Invariant-oracle settings; None disables run-time checking.
     oracle: Optional[OracleConfig] = None
+    #: Signature scheme: "hmac" (fast oracle, sweep default) or "dsa"
+    #: (the paper's real algorithm, for crypto-cost measurements).
+    signature_scheme: str = "hmac"
+    #: Collect a per-phase cost profile (see :mod:`repro.profiling`) into
+    #: ``result.profile``.  Phase *counts* are deterministic; *seconds*
+    #: are host wall-clock and excluded from determinism comparisons.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}")
+        if self.signature_scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {self.signature_scheme!r}; "
+                f"choose from {SCHEMES}")
         if self.warmup < 0 or self.drain < 0:
             raise ValueError("warmup/drain must be non-negative")
         if self.message_count < 1 and self.workload is None:
@@ -123,6 +137,9 @@ class ExperimentResult:
     #: Recorded violations as plain dicts (capped by the oracle's
     #: ``record_limit``), campaign/JSON-serialisable.
     violations: List[Dict[str, object]] = field(default_factory=list)
+    #: Per-phase cost profile ``{phase: {"count": n, "seconds": s}}``;
+    #: None unless the run was configured with ``profile=True``.
+    profile: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def protocol_transmissions(self) -> float:
@@ -176,7 +193,29 @@ class ExperimentResult:
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Build the world, run the workload, measure."""
+    """Build the world, run the workload, measure.
+
+    With ``config.profile`` the run executes under an active
+    :mod:`repro.profiling` session and the result carries the per-phase
+    cost summary; everything else about the run is unchanged (profiling
+    only observes).
+    """
+    if not config.profile:
+        return _run_experiment_body(config)
+    with profiling.session() as prof:
+        result = _run_experiment_body(config)
+    result.profile = prof.summary()
+    return result
+
+
+def _scheme(config: ExperimentConfig):
+    seed = str(config.scenario.seed).encode()
+    if config.signature_scheme == "dsa":
+        return DsaScheme(seed=seed)
+    return HmacScheme(seed=seed)
+
+
+def _run_experiment_body(config: ExperimentConfig) -> ExperimentResult:
     scenario = config.scenario
     sim = Simulator()
     streams = StreamFactory(scenario.seed)
@@ -191,7 +230,7 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     medium = Medium(sim, streams.stream("medium"), propagation,
                     bitrate_bps=scenario.bitrate_bps)
     energy = EnergyModel(sim, medium)
-    directory = KeyDirectory(HmacScheme(seed=str(scenario.seed).encode()))
+    directory = KeyDirectory(_scheme(config))
 
     nodes = _build_nodes(config, sim, medium, positions, streams, directory,
                          assignment)

@@ -100,6 +100,18 @@ def average_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
     for key in {k for r in results for k in r.energy}:
         energy[key] = sum(r.energy.get(key, 0.0)
                           for r in results) / len(results)
+    # Profiles aggregate (sum) across replicates: total cost over the
+    # replicated runs, not a per-run mean — counts stay integers.
+    profile = None
+    profiled = [r.profile for r in results if r.profile]
+    if profiled:
+        profile = {}
+        for item in profiled:
+            for phase, stats in item.items():
+                bucket = profile.setdefault(
+                    phase, {"count": 0, "seconds": 0.0})
+                bucket["count"] += stats.get("count", 0)
+                bucket["seconds"] += stats.get("seconds", 0.0)
     return ExperimentResult(
         protocol=first.protocol,
         n=first.n,
@@ -121,4 +133,5 @@ def average_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
                                for r in results) / len(results)),
         invariant_violations=sum(r.invariant_violations for r in results),
         violations=[v for r in results for v in r.violations],
+        profile=profile,
     )

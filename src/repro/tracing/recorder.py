@@ -58,7 +58,7 @@ class TraceRecorder:
 
     #: Categories recorded when no filter is supplied.
     ALL_CATEGORIES = ("tx", "rx", "collision", "accept", "suspect",
-                      "trust", "overlay", "chaos", "violation")
+                      "trust", "overlay", "chaos", "violation", "profile")
 
     def __init__(self, sim: Simulator,
                  categories: Optional[Iterable[str]] = None,
@@ -126,6 +126,19 @@ class TraceRecorder:
             self.record("violation", violation.node,
                         invariant=violation.invariant,
                         **dict(violation.detail)))
+        return self
+
+    def record_profile(self, profiler) -> "TraceRecorder":
+        """Snapshot a :class:`repro.profiling.Profiler` into the stream.
+
+        Emits one ``profile`` event per phase at the current virtual time
+        (node -1: the profile is a whole-simulation aggregate, not any
+        single node's).  Call it at milestones — e.g. end of warmup and
+        end of run — to see how phase costs accumulate over a timeline.
+        """
+        for phase, stats in sorted(profiler.phases().items()):
+            self.record("profile", -1, phase=phase, count=stats.count,
+                        seconds=round(stats.seconds, 6))
         return self
 
     # ------------------------------------------------------------------

@@ -69,8 +69,15 @@ class ProtocolHarness:
         self.accepted: List[Tuple[int, bytes]] = []
         streams = StreamFactory(7)
         self.config = config or ProtocolConfig()
+        # Mirror NetworkNode: the protocol verifies through the node's own
+        # caching view when the config enables the verify cache.
+        proto_directory = self.directory
+        if self.config.verify_cache_size > 0:
+            proto_directory = self.directory.caching_view(
+                self.config.verify_cache_size)
+        self.proto_directory = proto_directory
         self.protocol = ByzantineBroadcastProtocol(
-            self.sim, node_id, self.transport, self.directory,
+            self.sim, node_id, self.transport, proto_directory,
             self.signers[node_id], self.mute, self.verbose, self.trust,
             self.overlay, lambda: list(self.neighbor_list),
             streams.stream("proto"), self.config,

@@ -15,6 +15,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.chaos import FaultEvent, FaultSchedule, OracleConfig
+from repro.core.config import ProtocolConfig
+from repro.core.node import NodeStackConfig
 from repro.radio.medium import Medium
 from repro.sim import ExperimentConfig, run_experiment, run_many
 from repro.sim.campaign import result_to_record
@@ -29,12 +31,19 @@ RELAXED = dict(deadline=None,
                suppress_health_check=[HealthCheck.too_slow,
                                       HealthCheck.data_too_large])
 
+#: Hot-path caches explicitly OFF (the defaults have them ON, so the
+#: rest of this module already exercises the cached paths).
+CACHES_OFF = NodeStackConfig(
+    protocol=ProtocolConfig(verify_cache_size=0, wire_cache=False))
 
-def small_config(schedule, seed):
+
+def small_config(schedule, seed, stack=None):
+    extra = {"stack": stack} if stack is not None else {}
     return ExperimentConfig(
         scenario=ScenarioConfig(n=N, seed=seed),
         chaos=schedule, oracle=OracleConfig(),
-        warmup=4.0, message_count=2, message_interval=1.5, drain=6.0)
+        warmup=4.0, message_count=2, message_interval=1.5, drain=6.0,
+        **extra)
 
 
 def canonical(config, result):
@@ -79,6 +88,64 @@ def test_grid_medium_matches_brute_force(schedule, seed):
     finally:
         Medium.DEFAULT_USE_GRID = default
     assert gridded == brute
+
+
+@settings(max_examples=4, **RELAXED)
+@given(schedule=fault_schedules(N, horizon=5.0, max_events=4),
+       seed=st.integers(min_value=1, max_value=10_000))
+def test_cache_toggle_preserves_records(schedule, seed):
+    """The hot-path caches are pure memoization: a run with the verify
+    and wire caches disabled produces the same record as the default
+    cached run, up to the config block (which names the knobs) and the
+    key (its hash)."""
+    cached_config = small_config(schedule, seed)
+    uncached_config = small_config(schedule, seed, stack=CACHES_OFF)
+
+    def stripped(config):
+        record = result_to_record(config, run_experiment(config))
+        record.pop("key")
+        record.pop("config")
+        return json.dumps(record, sort_keys=True)
+
+    assert stripped(cached_config) == stripped(uncached_config)
+
+
+@settings(max_examples=3, **RELAXED)
+@given(schedule=fault_schedules(N, horizon=5.0, max_events=4),
+       seed=st.integers(min_value=1, max_value=10_000))
+def test_grid_vs_brute_with_caches_off(schedule, seed):
+    """The existing grid-vs-brute test runs with caches on (the
+    default); this one pins the same equivalence on the uncached path."""
+    config = small_config(schedule, seed, stack=CACHES_OFF)
+    default = Medium.DEFAULT_USE_GRID
+    try:
+        Medium.DEFAULT_USE_GRID = True
+        gridded = canonical(config, run_experiment(config))
+        Medium.DEFAULT_USE_GRID = False
+        brute = canonical(config, run_experiment(config))
+    finally:
+        Medium.DEFAULT_USE_GRID = default
+    assert gridded == brute
+
+
+def test_worker_pool_matches_serial_with_cache_matrix():
+    """workers=1 vs workers=4 byte-identity across the cache on/off
+    matrix in one task list (caches are per-process module/node state;
+    records must not depend on which worker ran which config)."""
+    schedule = FaultSchedule(events=(
+        FaultEvent(time=1.0, node=7, action="mute"),
+        FaultEvent(time=2.0, node=8, action="crash"),
+        FaultEvent(time=3.0, node=8, action="restart"),
+    ))
+    configs = [small_config(schedule, 31),
+               small_config(schedule, 31, stack=CACHES_OFF),
+               small_config(schedule, 32),
+               small_config(schedule, 32, stack=CACHES_OFF)]
+    serial = [canonical(c, r)
+              for c, r in zip(configs, run_many(configs, workers=1))]
+    pooled = [canonical(c, r)
+              for c, r in zip(configs, run_many(configs, workers=4))]
+    assert serial == pooled
 
 
 def test_acceptance_schedule_deterministic_across_workers():

@@ -1,0 +1,127 @@
+"""Encode-once wire-frame cache: byte-equality, bounds, exclusions."""
+
+import pytest
+
+from repro.core import wire
+from repro.core.messages import (
+    DataMessage,
+    FindMissingMessage,
+    GossipMessage,
+    GossipPacket,
+    MessageId,
+    RequestMessage,
+)
+from repro.crypto.keystore import HmacScheme, KeyDirectory
+from repro.radio.neighbors import HelloMessage
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts with an empty default-capacity cache."""
+    wire.configure_cache(4096)
+    yield
+    wire.configure_cache(4096)
+
+
+@pytest.fixture
+def signers():
+    directory = KeyDirectory(HmacScheme(seed=b"wire-test"))
+    return {i: directory.issue(i) for i in (1, 2, 3)}
+
+
+def _messages(signers):
+    gossip = GossipMessage.create(signers[1], 7)
+    return [
+        DataMessage.create(signers[1], 7, b"payload", ttl=1),
+        GossipPacket(entries=(gossip,)),
+        RequestMessage.create(signers[2], gossip, target=3),
+        FindMissingMessage.create(signers[3], gossip, claimed_holder=2),
+    ]
+
+
+class TestEncodeCache:
+    def test_cached_bytes_equal_uncached(self, signers):
+        for message in _messages(signers):
+            assert (wire.encode_message(message)
+                    == wire.encode_message(message, cache=False))
+
+    def test_wire_size_equal_with_and_without_cache(self, signers):
+        for message in _messages(signers):
+            assert (wire.wire_size(message)
+                    == wire.wire_size(message, cache=False))
+
+    def test_repeat_encoding_hits(self, signers):
+        message = _messages(signers)[0]
+        wire.encode_message(message)
+        wire.encode_message(message)
+        hits, misses, size, _ = wire.cache_info()
+        assert (hits, misses, size) == (1, 1, 1)
+
+    def test_equal_rebuilt_packet_hits(self, signers):
+        """Gossip packets rebuilt from the same entries each period
+        compare equal and share one cached encoding."""
+        gossip = GossipMessage.create(signers[1], 7)
+        first = GossipPacket(entries=(gossip,))
+        rebuilt = GossipPacket(entries=(gossip,))
+        assert first is not rebuilt
+        wire.encode_message(first)
+        wire.encode_message(rebuilt)
+        hits, misses, _, _ = wire.cache_info()
+        assert (hits, misses) == (1, 1)
+
+    def test_roundtrip_through_cache(self, signers):
+        for message in _messages(signers):
+            wire.encode_message(message)  # populate
+            assert wire.decode_message(wire.encode_message(message)) \
+                == message
+
+    def test_bounded_capacity_evicts_oldest(self, signers):
+        wire.configure_cache(2)
+        messages = [DataMessage.create(signers[1], seq, b"p")
+                    for seq in range(1, 5)]
+        for message in messages:
+            wire.encode_message(message)
+        _, _, size, capacity = wire.cache_info()
+        assert (size, capacity) == (2, 2)
+        # The oldest entries were evicted: re-encoding them misses.
+        _, misses_before, _, _ = wire.cache_info()
+        wire.encode_message(messages[0])
+        _, misses_after, _, _ = wire.cache_info()
+        assert misses_after == misses_before + 1
+
+    def test_hello_not_cached(self):
+        hello = HelloMessage(sender=1, seq=2, extras={"a": 1},
+                             signature=b"s")
+        first = wire.encode_message(hello)
+        second = wire.encode_message(hello)
+        assert first == second
+        hits, misses, size, _ = wire.cache_info()
+        assert (hits, misses, size) == (0, 0, 0)
+
+    def test_cache_false_bypasses(self, signers):
+        message = _messages(signers)[0]
+        wire.encode_message(message, cache=False)
+        wire.encode_message(message, cache=False)
+        hits, misses, size, _ = wire.cache_info()
+        assert (hits, misses, size) == (0, 0, 0)
+
+    def test_zero_capacity_disables(self, signers):
+        wire.configure_cache(0)
+        message = _messages(signers)[0]
+        assert (wire.encode_message(message)
+                == wire.encode_message(message, cache=False))
+        hits, misses, size, _ = wire.cache_info()
+        assert (hits, misses, size) == (0, 0, 0)
+
+    def test_configure_rejects_negative(self):
+        with pytest.raises(ValueError):
+            wire.configure_cache(-1)
+
+    def test_distinct_ttls_cache_separately(self, signers):
+        """TTL is outside the signature but inside the frame: the cache
+        must key on the full message identity, not the signed fields."""
+        message = _messages(signers)[0]
+        assert (wire.encode_message(message)
+                != wire.encode_message(message.with_ttl(2)))
+        assert (wire.decode_message(
+            wire.encode_message(message.with_ttl(2))).ttl == 2)
