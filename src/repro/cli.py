@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 from .chaos import FaultSchedule, OracleConfig
 from .core.config import ProtocolConfig
 from .core.node import NodeStackConfig
+from .sim.checkpoint import CheckpointConfig
 from .sim.experiment import (
     PROTOCOLS,
     ExperimentConfig,
@@ -113,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 disables; default 1024)")
         p.add_argument("--no-wire-cache", action="store_true",
                        help="disable the encode-once wire-frame cache")
+        p.add_argument("--checkpoint-every", type=float, default=None,
+                       metavar="T",
+                       help="snapshot the run every T virtual seconds and "
+                            "auto-resume from an existing snapshot of the "
+                            "same configuration (results are identical to "
+                            "an uninterrupted run)")
+        p.add_argument("--checkpoint-dir", default=".repro-checkpoints",
+                       metavar="DIR",
+                       help="where snapshots live "
+                            "(default .repro-checkpoints)")
 
     run_p = sub.add_parser("run", help="run one experiment")
     add_scenario_args(run_p)
@@ -171,13 +182,19 @@ def _config_from(args: argparse.Namespace, protocol: str,
              if getattr(args, "chaos", None) else None)
     oracle = (OracleConfig()
               if getattr(args, "oracle", False) or chaos else None)
+    checkpoint = None
+    if getattr(args, "checkpoint_every", None) is not None:
+        checkpoint = CheckpointConfig(
+            every=args.checkpoint_every,
+            directory=getattr(args, "checkpoint_dir", ".repro-checkpoints"))
     return ExperimentConfig(
         scenario=scenario, protocol=protocol, stack=stack,
         message_count=args.messages, message_interval=args.interval,
         warmup=args.warmup, drain=args.drain,
         chaos=chaos, oracle=oracle,
         signature_scheme=getattr(args, "scheme", "hmac"),
-        profile=getattr(args, "profile", False))
+        profile=getattr(args, "profile", False),
+        checkpoint=checkpoint)
 
 
 def _print_report(result, out, *, oracle: bool = False) -> None:

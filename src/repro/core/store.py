@@ -38,7 +38,13 @@ class MessageStore:
         self._gossips: Dict[MessageId, GossipMessage] = {}
         self._gossiping: Dict[MessageId, float] = {}
         self._last_request: Dict[MessageId, float] = {}
-        self._gossip_cursor = 0
+        # Rotation state for gossip_batch: when each id was last served,
+        # as a monotonically increasing serve sequence number.  Tracking
+        # by id (not by index into the filtered active list) keeps the
+        # rotation fair when TTL expiry or purging shrinks the set
+        # mid-rotation.
+        self._gossip_last_served: Dict[MessageId, int] = {}
+        self._gossip_serve_seq = 0
 
     # ------------------------------------------------------------------
     # DATA messages
@@ -115,25 +121,32 @@ class MessageStore:
         """The next batch of gossip entries, rotating through active ids so
         every message gets airtime even when more than ``limit`` are live.
 
+        Rotation serves the least-recently-served ids first (never-served
+        ids lead, in ``start_gossiping`` order).  Tracking service per id
+        keeps the rotation fair when the active set shrinks between calls:
+        an index cursor into the filtered list would skip or double-serve
+        entries after a purge and could starve an id of airtime entirely.
+
         With ``now``/``max_age`` given, entries that started being gossiped
         more than ``max_age`` seconds ago are skipped (advertisement TTL).
         """
         if now is not None and max_age is not None:
             horizon = now - max_age
-            active = [self._gossips[m]
-                      for m, started in self._gossiping.items()
+            active = [m for m, started in self._gossiping.items()
                       if m in self._gossips and started >= horizon]
         else:
-            active = [self._gossips[m] for m in self._gossiping
-                      if m in self._gossips]
+            active = [m for m in self._gossiping if m in self._gossips]
         if not active:
             return []
-        if len(active) <= limit:
-            return active
-        start = self._gossip_cursor % len(active)
-        self._gossip_cursor = (start + limit) % len(active)
-        rotated = active[start:] + active[:start]
-        return rotated[:limit]
+        if len(active) > limit:
+            # Stable sort: ties (all never-served entries share -1) keep
+            # insertion order, so batches are deterministic.
+            active.sort(key=lambda m: self._gossip_last_served.get(m, -1))
+            active = active[:limit]
+        for msg_id in active:
+            self._gossip_serve_seq += 1
+            self._gossip_last_served[msg_id] = self._gossip_serve_seq
+        return [self._gossips[m] for m in active]
 
     def gossip_batches(self, limit: int, now: Optional[float] = None,
                        max_age: Optional[float] = None
@@ -167,6 +180,11 @@ class MessageStore:
     def note_request(self, msg_id: MessageId, now: float) -> None:
         self._last_request[msg_id] = now
 
+    @property
+    def request_backlog(self) -> int:
+        """Outstanding request-pacing entries (bounded by :meth:`purge`)."""
+        return len(self._last_request)
+
     # ------------------------------------------------------------------
     # Purging
     # ------------------------------------------------------------------
@@ -181,6 +199,7 @@ class MessageStore:
         del self._messages[msg_id]
         self._gossips.pop(msg_id, None)
         self._gossiping.pop(msg_id, None)
+        self._gossip_last_served.pop(msg_id, None)
         self._last_request.pop(msg_id, None)
         return True
 
@@ -188,6 +207,15 @@ class MessageStore:
         """Drop buffered payloads and gossip state older than ``timeout``.
 
         Returns the purged ids.  Accepted-id history is retained.
+
+        Request-pacing entries (:meth:`note_request`) also age out here
+        once older than ``timeout``.  Ids that were requested but never
+        received — a persistently mute source gossips forever about
+        messages it never supplies — have no ``_messages`` entry, so
+        without their own TTL they would accumulate for the lifetime of
+        the node.  ``timeout`` exceeds the pacing ``min_interval`` in any
+        sane configuration, so expiring the entry cannot re-enable an
+        earlier request than pacing alone would have allowed.
         """
         purged = [msg_id for msg_id, stored in self._messages.items()
                   if now - stored.received_at >= timeout]
@@ -195,5 +223,10 @@ class MessageStore:
             del self._messages[msg_id]
             self._gossips.pop(msg_id, None)
             self._gossiping.pop(msg_id, None)
+            self._gossip_last_served.pop(msg_id, None)
             self._last_request.pop(msg_id, None)
+        stale = [msg_id for msg_id, last in self._last_request.items()
+                 if now - last >= timeout]
+        for msg_id in stale:
+            del self._last_request[msg_id]
         return purged

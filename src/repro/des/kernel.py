@@ -97,7 +97,9 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still on the heap (including cancelled ones)."""
+        """Number of events still pending on the heap, excluding cancelled
+        ones (a cancelled event stays heap-resident until popped but will
+        never fire, so it does not count as pending)."""
         return sum(1 for ev in self._heap if not ev.cancelled)
 
     # ------------------------------------------------------------------

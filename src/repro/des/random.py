@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterator, List, Sequence, TypeVar
+from typing import Any, Iterator, List, Sequence, Tuple, TypeVar
 
 __all__ = ["RandomStream", "StreamFactory"]
 
@@ -66,6 +66,23 @@ class RandomStream:
         """``base`` perturbed uniformly by up to ``±fraction * base``."""
         return base * self._rng.uniform(1.0 - fraction, 1.0 + fraction)
 
+    # ------------------------------------------------------------------
+    # Snapshot hooks (checkpoint/restore)
+    # ------------------------------------------------------------------
+    def getstate(self) -> Tuple[Any, ...]:
+        """The underlying generator state (see ``random.Random.getstate``).
+
+        Together with :meth:`setstate` this lets a checkpoint capture a
+        stream mid-run and resume it so the continued draw sequence is
+        identical to an uninterrupted run.  (Pickling a stream preserves
+        the same state; these hooks exist for explicit state export.)
+        """
+        return self._rng.getstate()
+
+    def setstate(self, state: Tuple[Any, ...]) -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        self._rng.setstate(state)
+
 
 class StreamFactory:
     """Derives independent :class:`RandomStream` instances from one seed.
@@ -77,15 +94,29 @@ class StreamFactory:
 
     def __init__(self, master_seed: int):
         self._master_seed = master_seed
+        self._issued: List[str] = []
 
     @property
     def master_seed(self) -> int:
         return self._master_seed
 
+    @property
+    def issued_names(self) -> List[str]:
+        """Every stream name derived so far, in derivation order.
+
+        A checkpoint manifest records this list so a resumed run can be
+        audited against the uninterrupted one: the set of named streams
+        (whose states live wherever the streams are referenced) must
+        match.  Derivation stays side-effect free otherwise: each call
+        still returns a fresh stream at its initial state.
+        """
+        return list(self._issued)
+
     def stream(self, name: str) -> RandomStream:
         """Return the stream for ``name`` (same name → same stream state)."""
         digest = hashlib.sha256(
             f"{self._master_seed}:{name}".encode()).digest()
+        self._issued.append(name)
         return RandomStream(int.from_bytes(digest[:8], "big"))
 
     def streams(self, names: Sequence[str]) -> Iterator[RandomStream]:

@@ -54,6 +54,20 @@ class BroadcastRecord:
             - self.sent_at
 
 
+class _ClockedAcceptListener:
+    """Feeds accepts into a collector stamped with the simulation clock."""
+
+    __slots__ = ("_collector", "_sim")
+
+    def __init__(self, collector: "MetricsCollector", sim):
+        self._collector = collector
+        self._sim = sim
+
+    def __call__(self, receiver: int, originator: int, payload: bytes,
+                 msg_id: MessageId) -> None:
+        self._collector.on_accept(receiver, msg_id, self._sim.now)
+
+
 class MetricsCollector:
     """Aggregates delivery records and physical-layer counters."""
 
@@ -88,13 +102,11 @@ class MetricsCollector:
             return
         record.accepted_at.setdefault(receiver, time)
 
-    def listener(self, sim) -> "callable":
+    def listener(self, sim) -> "_ClockedAcceptListener":
         """An accept listener bound to the simulation clock, in the shape
-        node.add_accept_listener expects."""
-        def _listener(receiver: int, originator: int, payload: bytes,
-                      msg_id: MessageId) -> None:
-            self.on_accept(receiver, msg_id, sim.now)
-        return _listener
+        node.add_accept_listener expects.  A picklable object (not a
+        closure) so networks carrying it survive checkpointing."""
+        return _ClockedAcceptListener(self, sim)
 
     # ------------------------------------------------------------------
     # Aggregates

@@ -34,7 +34,9 @@ class Radio:
         self._deaf = False
         self._receiver: Optional[Callable[[Packet], None]] = None
         self._mac = CsmaMac(sim, medium, node_id, rng, mac_config)
-        medium.attach(node_id, lambda: self._position, tx_range,
+        # Bound methods (not a lambda) so an attached radio — and with it
+        # the whole medium/node graph — stays checkpoint-serializable.
+        medium.attach(node_id, self._get_position, tx_range,
                       self._on_packet)
 
     # ------------------------------------------------------------------
@@ -107,6 +109,9 @@ class Radio:
             raise ValueError(f"factor must be in (0, 1]: {factor}")
         self._tx_range = self._nominal_tx_range * factor
         self._medium.set_tx_range(self._node_id, self._tx_range)
+
+    def _get_position(self) -> Position:
+        return self._position
 
     def _on_packet(self, packet: Packet) -> None:
         if self._deaf:

@@ -1,10 +1,21 @@
 """Experiment runner, sweeps, and table rendering."""
 
 from .campaign import Campaign, config_key, result_to_record
+from .checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    latest_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
 from .experiment import (
     PROTOCOLS,
     ExperimentConfig,
     ExperimentResult,
+    ExperimentWorld,
+    build_world,
+    finish_world,
+    resume_experiment,
     run_experiment,
     run_many,
 )
@@ -15,22 +26,31 @@ from .sweeps import SweepPoint, average_results, run_sweep
 
 __all__ = [
     "Campaign",
+    "CheckpointConfig",
+    "CheckpointError",
     "ExperimentConfig",
     "ExperimentResult",
+    "ExperimentWorld",
     "Network",
     "NetworkBuilder",
     "PROTOCOLS",
     "SweepPoint",
     "average_results",
+    "build_world",
+    "finish_world",
     "format_rows",
     "format_series",
     "format_table",
     "bar_chart",
     "config_key",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "resume_experiment",
     "result_to_record",
     "run_experiment",
     "run_many",
     "run_sweep",
     "series_chart",
     "spark_line",
+    "write_checkpoint",
 ]

@@ -17,35 +17,16 @@ are unchanged because both paths key on the same content hashes.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import multiprocessing
 import os
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..workloads.scenarios import AdversaryMix, ScenarioConfig
+from .checkpoint import CheckpointConfig, _jsonable, config_key
 from .experiment import ExperimentConfig, ExperimentResult, run_experiment
 
 __all__ = ["Campaign", "config_key", "result_to_record"]
-
-
-def _jsonable(value: Any) -> Any:
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {field.name: _jsonable(getattr(value, field.name))
-                for field in dataclasses.fields(value)}
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
-
-
-def config_key(config: ExperimentConfig) -> str:
-    """Stable content hash identifying one configuration."""
-    canonical = json.dumps(_jsonable(config), sort_keys=True)
-    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
 def result_to_record(config: ExperimentConfig,
@@ -124,13 +105,24 @@ class Campaign:
     def run(self, configs: Iterable[ExperimentConfig], *,
             force: bool = False,
             progress: Optional[Callable[[str], None]] = None,
-            workers: int = 1) -> Tuple[int, int]:
+            workers: int = 1,
+            checkpoint_every: Optional[float] = None) -> Tuple[int, int]:
         """Run every configuration not yet persisted.
 
         With ``workers > 1`` the pending configurations are distributed
         over a process pool; record content is byte-identical to a serial
         run (simulations are self-seeded, files are written only by this
         process).  Returns ``(executed, skipped)``.
+
+        With ``checkpoint_every`` each pending run snapshots itself every
+        that many *virtual* seconds into ``<campaign>/checkpoints/``.  A
+        worker killed mid-run leaves its latest snapshot behind; the next
+        ``run`` over the same configurations picks the run up from there
+        instead of restarting it, and the finished record is
+        byte-identical (modulo its config block, which carries the
+        checkpoint settings) to an uninterrupted run's.  The content hash
+        ignores checkpoint settings, so skip/resume semantics and record
+        file names are unchanged.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
@@ -144,6 +136,10 @@ class Campaign:
                 skipped += 1
                 continue
             claimed.add(key)
+            if checkpoint_every is not None:
+                config = dataclasses.replace(config, checkpoint=CheckpointConfig(
+                    every=checkpoint_every,
+                    directory=os.path.join(self._directory, "checkpoints")))
             pending.append((key, config))
         if workers == 1 or len(pending) <= 1:
             for key, config in pending:

@@ -17,6 +17,7 @@ Protocols:
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
@@ -56,9 +57,19 @@ from ..radio.medium import Medium
 from ..radio.propagation import LogNormalShadowing, UnitDisk
 from ..workloads.scenarios import ScenarioConfig
 from ..workloads.sources import BroadcastEvent, periodic_source
+from .checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    config_key,
+    discard_checkpoint,
+    latest_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment",
-           "run_many", "PROTOCOLS", "SCHEMES"]
+__all__ = ["ExperimentConfig", "ExperimentResult", "ExperimentWorld",
+           "run_experiment", "resume_experiment", "build_world",
+           "finish_world", "run_many", "PROTOCOLS", "SCHEMES"]
 
 PROTOCOLS = ("byzcast", "flooding", "overlay_only", "multi_overlay")
 
@@ -91,6 +102,11 @@ class ExperimentConfig:
     #: ``result.profile``.  Phase *counts* are deterministic; *seconds*
     #: are host wall-clock and excluded from determinism comparisons.
     profile: bool = False
+    #: Periodic snapshot settings (see :mod:`repro.sim.checkpoint`); None
+    #: disables checkpointing.  An execution knob: excluded from the
+    #: campaign content hash, and a checkpointed run's final result is
+    #: byte-identical to an uninterrupted one.
+    checkpoint: Optional[CheckpointConfig] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -199,11 +215,39 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     :mod:`repro.profiling` session and the result carries the per-phase
     cost summary; everything else about the run is unchanged (profiling
     only observes).
+
+    With ``config.checkpoint`` the run snapshots itself every
+    ``checkpoint.every`` virtual seconds, and — if a usable snapshot for
+    this configuration already exists in ``checkpoint.directory`` (a
+    previous run was killed mid-flight) — resumes from it instead of
+    restarting.  Either way the returned result is identical to an
+    uninterrupted run's (profile seconds excepted: wall-clock is never
+    part of the determinism contract, and a resumed profile covers only
+    the continuation).
     """
     if not config.profile:
         return _run_experiment_body(config)
     with profiling.session() as prof:
         result = _run_experiment_body(config)
+    result.profile = prof.summary()
+    return result
+
+
+def resume_experiment(path: str) -> ExperimentResult:
+    """Restore a snapshot written by a checkpointed run and finish it.
+
+    Raises :class:`repro.sim.checkpoint.CheckpointError` if the file is
+    missing, corrupt, or from an incompatible format version.  The
+    continued run fires exactly the events the uninterrupted run would
+    have fired, so the result matches byte for byte (modulo profile
+    wall-clock seconds).
+    """
+    world = load_checkpoint(path)
+    config = world.config
+    if not config.profile:
+        return finish_world(world)
+    with profiling.session() as prof:
+        result = finish_world(world)
     result.profile = prof.summary()
     return result
 
@@ -215,7 +259,57 @@ def _scheme(config: ExperimentConfig):
     return HmacScheme(seed=seed)
 
 
+@dataclass
+class ExperimentWorld:
+    """A live experiment mid-run — everything needed to continue it and
+    measure the outcome.
+
+    The whole graph is picklable (no closures anywhere in the stack), so
+    a checkpoint can snapshot the object as-is: the event heap re-arms
+    itself because every scheduled callback is a bound method or a
+    module-level function, never a lambda.
+    """
+
+    config: ExperimentConfig
+    sim: Simulator
+    streams: StreamFactory
+    nodes: List
+    medium: Medium
+    energy: EnergyModel
+    collector: MetricsCollector
+    controller: Optional[ChaosController]
+    oracle: Optional[InvariantOracle]
+    mobility: object
+    assignment: Dict[int, str]
+    correct: set
+    horizon: float
+    #: Optional :class:`repro.tracing.TraceRecorder`; when set,
+    #: :func:`finish_world` emits a ``checkpoint`` trace event per
+    #: snapshot.  Must itself be picklable (the stock recorder is).
+    recorder: object = None
+
+
 def _run_experiment_body(config: ExperimentConfig) -> ExperimentResult:
+    if config.checkpoint is not None:
+        key = config_key(config)
+        path = latest_checkpoint(config.checkpoint.directory, key)
+        if path is not None:
+            try:
+                return finish_world(load_checkpoint(path, expect_key=key))
+            except CheckpointError:
+                # Unusable snapshot (stale format, corrupt, wrong config):
+                # a fresh run is always a correct fallback.
+                discard_checkpoint(config.checkpoint.directory, key)
+    return finish_world(build_world(config))
+
+
+def build_world(config: ExperimentConfig) -> ExperimentWorld:
+    """Construct the network, run the warmup, arm workload/chaos/oracle.
+
+    Returns the world paused at the end of warmup with every remaining
+    event scheduled; :func:`finish_world` (or a manually sliced
+    ``world.sim.run``) carries it to the horizon.
+    """
     scenario = config.scenario
     sim = Simulator()
     streams = StreamFactory(scenario.seed)
@@ -274,28 +368,80 @@ def _run_experiment_body(config: ExperimentConfig) -> ExperimentResult:
                       config.warmup + config.chaos.horizon + config.drain)
     if oracle is not None:
         oracle.start()
-    sim.run(until=horizon)
 
-    overlay_quality = _overlay_snapshot(config, nodes, scenario, correct)
+    return ExperimentWorld(
+        config=config, sim=sim, streams=streams, nodes=nodes, medium=medium,
+        energy=energy, collector=collector, controller=controller,
+        oracle=oracle, mobility=mobility, assignment=assignment,
+        correct=correct, horizon=horizon)
+
+
+def _next_boundary(now: float, every: float) -> float:
+    """First checkpoint instant strictly after ``now`` on the absolute
+    grid ``k * every`` — absolute so a resumed run keeps the original
+    cadence instead of restarting it from the resume point."""
+    boundary = (math.floor(now / every) + 1) * every
+    while boundary <= now:  # float-rounding guard
+        boundary += every
+    return boundary
+
+
+def finish_world(world: ExperimentWorld) -> ExperimentResult:
+    """Run a world from wherever it stands to its horizon and measure.
+
+    Without ``config.checkpoint`` this is one ``sim.run`` call.  With it,
+    the same window is executed as ``sim.run(until=boundary)`` slices
+    with a snapshot between slices.  Slicing is invisible to the
+    simulation — ``run(until=t)`` fires events at exactly ``t`` before
+    returning and snapshots never touch the heap — so both paths fire
+    the byte-identical event sequence.  The snapshot is deleted once the
+    run completes (it only exists to survive interruption).
+    """
+    config = world.config
+    sim = world.sim
+    ckpt = config.checkpoint
+    if ckpt is None:
+        sim.run(until=world.horizon)
+    else:
+        key = config_key(config)
+        while sim.now < world.horizon:
+            boundary = _next_boundary(sim.now, ckpt.every)
+            if boundary >= world.horizon:
+                sim.run(until=world.horizon)
+                break
+            sim.run(until=boundary)
+            path = write_checkpoint(world, key, ckpt.directory)
+            if world.recorder is not None:
+                world.recorder.record_checkpoint(
+                    path, events_fired=sim.events_fired)
+
+    scenario = config.scenario
+    collector = world.collector
+    controller = world.controller
+    oracle = world.oracle
+    overlay_quality = _overlay_snapshot(config, world.nodes, scenario,
+                                        world.correct)
     if oracle is not None:
         oracle.stop()
     if controller is not None:
         controller.stop()
-    for node in nodes:
+    for node in world.nodes:
         node.stop()
+    if ckpt is not None:
+        discard_checkpoint(ckpt.directory, config_key(config))
 
     return ExperimentResult(
         protocol=config.protocol,
         n=scenario.n,
-        byzantine=len(assignment),
+        byzantine=len(world.assignment),
         broadcasts=collector.broadcast_count,
         delivery_ratio=collector.delivery_ratio(),
         complete_fraction=collector.complete_fraction(),
         mean_latency=collector.mean_latency(),
         max_latency=collector.max_latency(),
         mean_completion_latency=_mean(collector.completion_latencies()),
-        physical=collector.physical_summary(medium),
-        energy=energy.summary(),
+        physical=collector.physical_summary(world.medium),
+        energy=world.energy.summary(),
         overlay_quality=overlay_quality,
         sim_time=sim.now,
         chaos_events=len(controller.applied) if controller else 0,

@@ -11,6 +11,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..workloads.scenarios import ScenarioConfig
+from .checkpoint import CheckpointConfig
 from .experiment import (
     ExperimentConfig,
     ExperimentResult,
@@ -34,16 +35,30 @@ def run_sweep(parameters: Sequence[object],
               make_config: Callable[[object], ExperimentConfig],
               seeds: Sequence[int] = (1,),
               progress: Optional[Callable[[str], None]] = None,
-              workers: int = 1) -> List[SweepPoint]:
+              workers: int = 1,
+              checkpoint_every: Optional[float] = None,
+              checkpoint_dir: str = ".repro-checkpoints") -> List[SweepPoint]:
     """Run ``make_config(parameter)`` for every parameter × seed.
 
     Each parameter's results across seeds are averaged into one point.
     With ``workers > 1`` the parameter × seed grid is flattened into one
     task list and executed by a process pool (each simulation is
     self-seeded, so the averaged points are identical to a serial run).
+
+    With ``checkpoint_every`` each run snapshots itself every that many
+    virtual seconds into ``checkpoint_dir`` and auto-resumes from an
+    existing snapshot (a killed worker's leftovers) — see
+    :mod:`repro.sim.checkpoint`.  Points are identical either way.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
+
+    def finalize(config: ExperimentConfig) -> ExperimentConfig:
+        if checkpoint_every is None:
+            return config
+        return replace(config, checkpoint=CheckpointConfig(
+            every=checkpoint_every, directory=checkpoint_dir))
+
     if workers > 1:
         tasks: List[ExperimentConfig] = []
         for parameter in parameters:
@@ -54,7 +69,7 @@ def run_sweep(parameters: Sequence[object],
                 if progress is not None:
                     progress(f"running {config.protocol} "
                              f"param={parameter!r} seed={seed}")
-                tasks.append(config)
+                tasks.append(finalize(config))
         flat = run_many(tasks, workers=workers)
         points = []
         for index, parameter in enumerate(parameters):
@@ -73,7 +88,7 @@ def run_sweep(parameters: Sequence[object],
             if progress is not None:
                 progress(f"running {config.protocol} "
                          f"param={parameter!r} seed={seed}")
-            results.append(run_experiment(config))
+            results.append(run_experiment(finalize(config)))
         points.append(SweepPoint(parameter=parameter,
                                  result=average_results(results),
                                  replicates=len(results)))

@@ -53,12 +53,75 @@ class _MediumTap(MediumObserver):
                               sender=packet.sender)
 
 
+# The listener taps below are classes, not lambdas, so that a network
+# carrying an attached recorder stays picklable — checkpoints snapshot
+# nodes together with their listener lists.
+class _AcceptTap:
+    def __init__(self, recorder: "TraceRecorder"):
+        self._recorder = recorder
+
+    def __call__(self, receiver: int, originator: int, payload: bytes,
+                 msg_id: MessageId) -> None:
+        self._recorder.record("accept", receiver, originator=originator,
+                              seq=msg_id.seq)
+
+
+class _SuspectTap:
+    def __init__(self, recorder: "TraceRecorder", node_id: int,
+                 detector: str):
+        self._recorder = recorder
+        self._node_id = node_id
+        self._detector = detector
+
+    def __call__(self, target: int, reason) -> None:
+        self._recorder.record("suspect", self._node_id, target=target,
+                              detector=self._detector)
+
+
+class _TrustTap:
+    def __init__(self, recorder: "TraceRecorder", node_id: int):
+        self._recorder = recorder
+        self._node_id = node_id
+
+    def __call__(self, target: int, level) -> None:
+        self._recorder.record("trust", self._node_id, target=target,
+                              level=level.name)
+
+
+class _OverlayTap:
+    def __init__(self, recorder: "TraceRecorder"):
+        self._recorder = recorder
+
+    def __call__(self, node_id: int, status) -> None:
+        self._recorder.record("overlay", node_id, status=status.value)
+
+
+class _ChaosTap:
+    def __init__(self, recorder: "TraceRecorder"):
+        self._recorder = recorder
+
+    def __call__(self, time: float, event) -> None:
+        self._recorder.record("chaos", event.node, action=event.action,
+                              params=dict(event.params))
+
+
+class _ViolationTap:
+    def __init__(self, recorder: "TraceRecorder"):
+        self._recorder = recorder
+
+    def __call__(self, violation) -> None:
+        self._recorder.record("violation", violation.node,
+                              invariant=violation.invariant,
+                              **dict(violation.detail))
+
+
 class TraceRecorder:
     """Collects :class:`TraceEvent` objects from a live simulation."""
 
     #: Categories recorded when no filter is supplied.
     ALL_CATEGORIES = ("tx", "rx", "collision", "accept", "suspect",
-                      "trust", "overlay", "chaos", "violation", "profile")
+                      "trust", "overlay", "chaos", "violation", "profile",
+                      "checkpoint")
 
     def __init__(self, sim: Simulator,
                  categories: Optional[Iterable[str]] = None,
@@ -82,25 +145,11 @@ class TraceRecorder:
 
     def attach_node(self, node) -> "TraceRecorder":
         """Hook a :class:`repro.core.NetworkNode`'s observable seams."""
-        node.add_accept_listener(
-            lambda receiver, orig, payload, mid:
-            self.record("accept", receiver, originator=orig,
-                        seq=mid.seq))
-        node.mute.add_listener(
-            lambda target, reason:
-            self.record("suspect", node.node_id, target=target,
-                        detector="mute"))
-        node.verbose.add_listener(
-            lambda target, reason:
-            self.record("suspect", node.node_id, target=target,
-                        detector="verbose"))
-        node.trust.add_listener(
-            lambda target, level:
-            self.record("trust", node.node_id, target=target,
-                        level=level.name))
-        node.overlay.add_status_listener(
-            lambda node_id, status:
-            self.record("overlay", node_id, status=status.value))
+        node.add_accept_listener(_AcceptTap(self))
+        node.mute.add_listener(_SuspectTap(self, node.node_id, "mute"))
+        node.verbose.add_listener(_SuspectTap(self, node.node_id, "verbose"))
+        node.trust.add_listener(_TrustTap(self, node.node_id))
+        node.overlay.add_status_listener(_OverlayTap(self))
         return self
 
     def attach_network(self, medium: Medium, nodes) -> "TraceRecorder":
@@ -112,20 +161,28 @@ class TraceRecorder:
     def attach_chaos(self, controller) -> "TraceRecorder":
         """Record each applied fault of a
         :class:`repro.chaos.ChaosController`."""
-        controller.add_listener(
-            lambda time, event:
-            self.record("chaos", event.node, action=event.action,
-                        params=dict(event.params)))
+        controller.add_listener(_ChaosTap(self))
         return self
 
     def attach_oracle(self, oracle) -> "TraceRecorder":
         """Record each :class:`repro.chaos.InvariantViolation` as it is
         observed."""
-        oracle.add_listener(
-            lambda violation:
-            self.record("violation", violation.node,
-                        invariant=violation.invariant,
-                        **dict(violation.detail)))
+        oracle.add_listener(_ViolationTap(self))
+        return self
+
+    def record_checkpoint(self, path: str,
+                          events_fired: Optional[int] = None
+                          ) -> "TraceRecorder":
+        """Note a written snapshot in the stream.
+
+        One ``checkpoint`` event at the current virtual time (node -1:
+        run-level, not any single node's).  ``finish_world`` calls this
+        per snapshot when a recorder rides inside the experiment world.
+        """
+        details: Dict[str, Any] = {"path": path}
+        if events_fired is not None:
+            details["events_fired"] = events_fired
+        self.record("checkpoint", -1, **details)
         return self
 
     def record_profile(self, profiler) -> "TraceRecorder":

@@ -125,6 +125,113 @@ class TestRequestPacing:
         assert store.may_request(msg_id, now=1.0, min_interval=1.0)
 
 
+class TestGossipRotationFairness:
+    """Regression: the rotation must stay fair when the active set
+    shrinks mid-rotation.  The old index-based cursor skipped or
+    double-served entries after a purge and could starve an id forever.
+    """
+
+    @staticmethod
+    def _arm(store, signer, seqs, now=0.0):
+        for seq in seqs:
+            store.add_message(data(signer, seq), now)
+            store.add_gossip(gossip(signer, seq))
+            store.start_gossiping(MessageId(1, seq), now)
+
+    def test_purge_mid_rotation_does_not_skip_survivors(self):
+        store, signer = make()
+        self._arm(store, signer, range(5))
+        first = {g.msg_id.seq for g in store.gossip_batch(2)}
+        assert first == {0, 1}
+        # Drop an already-served id; the un-served tail must still all
+        # get airtime in the following batches.
+        store.purge_one(MessageId(1, 0))
+        second = {g.msg_id.seq for g in store.gossip_batch(2)}
+        third = {g.msg_id.seq for g in store.gossip_batch(2)}
+        assert second | third >= {2, 3, 4}
+
+    def test_purge_of_unserved_id_does_not_starve_others(self):
+        store, signer = make()
+        self._arm(store, signer, range(6))
+        store.gossip_batch(2)                     # serves 0, 1
+        store.purge_one(MessageId(1, 2))          # shrink ahead of cursor
+        served = set()
+        for _ in range(3):
+            served |= {g.msg_id.seq for g in store.gossip_batch(2)}
+        assert served >= {3, 4, 5}                # nobody starved
+
+    def test_every_id_served_within_one_cycle(self):
+        # With k active ids and batch limit L, every id must appear
+        # within ceil(k / L) consecutive batches — the LRU rotation's
+        # fairness bound — even while ids keep being purged.
+        store, signer = make()
+        self._arm(store, signer, range(8))
+        survivors = {3, 4, 5, 6, 7}
+        for seq in (0, 1, 2):
+            store.gossip_batch(3)
+            store.purge_one(MessageId(1, seq))
+        served = set()
+        for _ in range(2):                        # ceil(5 / 3) = 2
+            served |= {g.msg_id.seq for g in store.gossip_batch(3)}
+        assert served >= survivors
+
+    def test_rotation_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            store, signer = make()
+            self._arm(store, signer, range(7))
+            batches = [tuple(g.msg_id.seq for g in store.gossip_batch(3))
+                       for _ in range(6)]
+            runs.append(batches)
+        assert runs[0] == runs[1]
+
+
+class TestRequestBacklogBound:
+    """Regression: ids requested but never received used to pile up in
+    ``_last_request`` forever (purge only dropped keys that had a
+    buffered message).  A long run against a persistently mute source —
+    gossip arrives, DATA never does — must keep the backlog bounded.
+    """
+
+    TIMEOUT = 30.0
+
+    def test_never_received_requests_age_out(self):
+        store, _ = make()
+        # A mute source advertises a new message every second for 600
+        # virtual seconds; we request each one and never hear back.
+        # Nodes purge on their gossip cadence; emulate a 1 Hz purge.
+        peak = 0
+        for second in range(600):
+            now = float(second)
+            store.note_request(MessageId(7, second), now)
+            store.purge(now, self.TIMEOUT)
+            peak = max(peak, store.request_backlog)
+        # Bounded by the purge window, not by run length (the old code
+        # reached 600 here — one entry per advertised id).
+        assert peak <= self.TIMEOUT + 1
+        store.purge(600.0 + self.TIMEOUT, self.TIMEOUT)
+        assert store.request_backlog == 0
+
+    def test_expiry_does_not_relax_pacing(self):
+        # TTL expiry must never allow a re-request earlier than pacing
+        # alone would: entries only expire once older than `timeout`,
+        # which dominates `min_interval` in any sane configuration.
+        store, _ = make()
+        msg_id = MessageId(7, 1)
+        store.note_request(msg_id, now=0.0)
+        store.purge(now=0.5, timeout=self.TIMEOUT)      # too young to expire
+        assert not store.may_request(msg_id, now=0.9, min_interval=1.0)
+        assert store.request_backlog == 1
+
+    def test_received_then_purged_id_clears_backlog(self):
+        store, signer = make()
+        message = data(signer, 1)
+        store.note_request(message.msg_id, now=0.0)
+        store.add_message(message, now=1.0)
+        store.purge(now=40.0, timeout=self.TIMEOUT)
+        assert store.request_backlog == 0
+
+
 class TestPurge:
     def test_old_messages_purged(self):
         store, signer = make()

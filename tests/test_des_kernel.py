@@ -200,3 +200,66 @@ def test_callback_args_passed_through():
     sim.schedule(1.0, lambda a, b, c: captured.append((a, b, c)), 1, "x", None)
     sim.run()
     assert captured == [(1, "x", None)]
+
+
+# ----------------------------------------------------------------------
+# run() corner cases: bound interactions and restartability
+# ----------------------------------------------------------------------
+def test_max_events_combined_with_until():
+    # max_events trips first: two events fit the time window but only one
+    # may fire.  Pins the documented clock rule — `until` always advances
+    # the clock to the bound, even when the event budget cut the run
+    # short (only stop() suppresses the jump).
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    sim.schedule(9.0, fired.append, 9)
+    sim.run(until=5.0, max_events=1)
+    assert fired == [1]
+    assert sim.now == 5.0
+
+    # until trips first: the budget allows more events than the window
+    # holds; the event at 9.0 stays pending.
+    sim.run(max_events=10)
+    assert fired == [1, 2, 9]
+    assert sim.now == 9.0
+
+
+def test_stop_then_second_run_resumes():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, fired.append, 2)
+    sim.run()
+    assert fired == [1]
+    # A second run() clears the stop flag and drains the remainder.
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.now == 2.0
+
+
+def test_stop_suppresses_clock_advance_to_until():
+    sim = Simulator()
+    sim.schedule(1.0, sim.stop)
+    sim.run(until=10.0)
+    assert sim.now == 1.0  # stopped runs do not jump to the bound
+
+
+def test_clear_preserves_clock_and_fifo_seq():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    pre_clear = sim.schedule(5.0, lambda: None)
+    sim.run(until=3.0)
+    sim.clear()
+    assert sim.now == 3.0       # the clock survives a clear
+    assert sim.pending == 0
+
+    # The FIFO sequence counter also survives a clear: same-instant
+    # events scheduled afterwards still fire in schedule order.
+    order = []
+    sim.schedule(2.0, order.append, "first")
+    sim.schedule(2.0, order.append, "second")
+    sim.run()
+    assert order == ["first", "second"]
+    assert pre_clear.time == 5.0  # cleared events are untouched, just dropped
