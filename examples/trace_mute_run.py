@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Causal tracing walkthrough: the E13 mute-onset scenario.
+
+A source broadcasts twice; between the two broadcasts a chaos timeline
+silences it (the paper's mid-run mute onset, experiment E13).  With
+observability enabled the run yields a span stream that answers, per
+message, the question aggregate counters cannot: *what happened to it?*
+
+* The pre-mute broadcast's spans reconstruct the full causal hop chain —
+  origin, signing, MAC queueing, airtime, receptions, verifications,
+  deliveries — node by node.
+* The post-mute broadcast never leaves the source: its story is an
+  ``origin``/``sign`` pair, a behavior-suppressed send, and finally the
+  buffer purge when the retention timeout expires.
+
+Optionally exports the trace as JSONL (analyzable offline with
+``python -m repro trace path/latency/timeline/export``) and as Chrome
+trace_event JSON loadable in Perfetto (https://ui.perfetto.dev).
+
+Run:  python examples/trace_mute_run.py [trace.jsonl [chrome.json]]
+"""
+
+import sys
+
+from repro.chaos import FaultEvent, FaultSchedule, OracleConfig
+from repro.core import NodeStackConfig
+from repro.core.config import ProtocolConfig
+from repro.obs import (
+    ObsConfig,
+    causal_chain,
+    latency_report,
+    trace_path,
+    write_chrome,
+    write_trace,
+)
+from repro.sim import ExperimentConfig, run_experiment
+from repro.workloads.scenarios import ScenarioConfig
+from repro.workloads.sources import BroadcastEvent
+
+SOURCE = 0
+DELIVERED, MUTED = "0:1", "0:2"
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        scenario=ScenarioConfig(n=8, seed=5),
+        # Short retention so the muted message's purge lands in-run.
+        stack=NodeStackConfig(protocol=ProtocolConfig(purge_timeout=4.0)),
+        warmup=4.0,
+        workload=[BroadcastEvent(time=0.5, source=SOURCE),
+                  BroadcastEvent(time=3.0, source=SOURCE)],
+        chaos=FaultSchedule(events=(
+            FaultEvent(time=1.5, node=SOURCE, action="mute"),)),
+        oracle=OracleConfig(),
+        drain=10.0,
+        observe=ObsConfig(),
+    )
+    result = run_experiment(config)
+    trace = result.trace
+    spans = trace["spans"]
+    print(f"run finished: {trace['span_count']} spans, "
+          f"{result.invariant_violations} oracle violations\n")
+
+    # ------------------------------------------------------------------
+    # The delivered message: full causal hop chain.
+    # ------------------------------------------------------------------
+    story = trace_path(spans, DELIVERED)
+    origin = story["origin"]
+    print(f"message {DELIVERED} — broadcast before the mute onset")
+    print(f"  originated by node {origin['node']} at t={origin['time']:.3f}")
+    for hop in story["deliveries"]:
+        print(f"  deliver -> node {hop['node']} at t={hop['time']:.3f} "
+              f"(from {hop['sender']}, depth {hop['depth']}) [{hop['span']}]")
+    farthest = max(story["deliveries"], key=lambda hop: hop["depth"])
+    chain = causal_chain(spans, DELIVERED, farthest["node"])
+    print(f"  causal chain to the deepest hop (node {farthest['node']}, "
+          f"{len(chain)} spans; key phases):")
+    key_phases = ("origin", "sign", "mac_enqueue", "tx", "rx", "verify",
+                  "verify_hit", "deliver")
+    shown = set()
+    for span in chain:
+        marker = (span["node"], span["phase"])
+        if span["phase"] not in key_phases or marker in shown:
+            continue
+        shown.add(marker)
+        print(f"    t={span['time']:.3f} node={span['node']} {span['phase']}")
+
+    # ------------------------------------------------------------------
+    # The muted message: evidence of why it went nowhere.
+    # ------------------------------------------------------------------
+    story = trace_path(spans, MUTED)
+    print(f"\nmessage {MUTED} — broadcast after the mute onset")
+    print(f"  deliveries: {len(story['deliveries'])}")
+    for span in story["events"]:
+        if span["node"] != SOURCE:
+            continue
+        detail = {key: value for key, value in span.items()
+                  if key not in ("seq", "span", "time", "phase", "node",
+                                 "msg", "duration")}
+        print(f"  t={span['time']:.3f} {span['phase']:<10} {detail}")
+
+    # ------------------------------------------------------------------
+    # Latency vs the §3.5 bound.
+    # ------------------------------------------------------------------
+    bound = trace["meta"]["latency_bound"]
+    report = latency_report(spans, bound=bound)
+    print(f"\nlatency: {report['count']} deliveries, "
+          f"mean {report['mean']:.3f}s, max {report['max']:.3f}s; "
+          f"§3.5 bound {bound:.2f}s -> {len(report['violations'])} "
+          f"violations")
+
+    if len(sys.argv) > 1:
+        count = write_trace(trace, sys.argv[1])
+        print(f"\nwrote {count} spans to {sys.argv[1]} "
+              f"(try: python -m repro trace path {MUTED} {sys.argv[1]})")
+    if len(sys.argv) > 2:
+        events = write_chrome(spans, sys.argv[2], meta=trace["meta"])
+        print(f"wrote {events} trace_event records to {sys.argv[2]} "
+              f"(open in https://ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

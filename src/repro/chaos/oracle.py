@@ -43,6 +43,7 @@ from ..core.config import ProtocolConfig
 from ..core.messages import MessageId
 from ..des.kernel import Simulator
 from ..des.timers import PeriodicTask
+from ..obs import context as obs
 from .schedule import FaultEvent
 
 __all__ = ["OracleConfig", "InvariantViolation", "InvariantOracle",
@@ -210,6 +211,14 @@ class InvariantOracle:
     def _record(self, time: float, node: int, invariant: str,
                 **detail: Any) -> None:
         self.violation_count += 1
+        ctx = obs.ACTIVE
+        if ctx is not None:
+            # Cross-reference the violation to the last lifecycle span the
+            # offending node produced, so `repro trace path` can jump from
+            # the verdict straight to the causal evidence.
+            span = ctx.last_span_id(node)
+            if span is not None:
+                detail.setdefault("span", span)
         violation = InvariantViolation(time=time, node=node,
                                        invariant=invariant, detail=detail)
         if len(self.violations) < self._config.record_limit:

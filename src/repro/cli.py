@@ -17,6 +17,18 @@ from typing import Optional, Sequence
 from .chaos import FaultSchedule, OracleConfig
 from .core.config import ProtocolConfig
 from .core.node import NodeStackConfig
+from .obs import (
+    ObsConfig,
+    causal_chain,
+    latency_report,
+    load_trace,
+    series_to_csv,
+    timeline,
+    trace_path,
+    validate_chrome,
+    write_chrome,
+    write_trace,
+)
 from .sim.checkpoint import CheckpointConfig
 from .sim.experiment import (
     PROTOCOLS,
@@ -124,6 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="DIR",
                        help="where snapshots live "
                             "(default .repro-checkpoints)")
+        p.add_argument("--observe", action="store_true",
+                       help="record causal lifecycle spans and virtual-time "
+                            "metric series (see `repro trace`)")
+        p.add_argument("--trace-out", metavar="FILE.jsonl", default=None,
+                       help="write the span trace as JSONL "
+                            "(implies --observe)")
+        p.add_argument("--metrics-out", metavar="FILE.csv", default=None,
+                       help="write the sampled metric series as CSV "
+                            "(implies --observe)")
 
     run_p = sub.add_parser("run", help="run one experiment")
     add_scenario_args(run_p)
@@ -151,6 +172,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("experiments",
                    help="list the reconstructed paper experiments")
+
+    trace_p = sub.add_parser(
+        "trace", help="analyze an exported span trace (see --trace-out)")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    path_p = trace_sub.add_parser(
+        "path", help="causal hop chain of one message")
+    path_p.add_argument("msg", help="message id, 'originator:seq'")
+    path_p.add_argument("trace", help="span trace JSONL")
+    path_p.add_argument("--node", type=int, default=None,
+                        help="also print the end-to-end causal chain that "
+                             "reached (or stranded) this node")
+
+    lat_p = trace_sub.add_parser(
+        "latency", help="delivery-latency distribution + §3.5 bound check")
+    lat_p.add_argument("trace", help="span trace JSONL")
+    lat_p.add_argument("--bound", type=float, default=None,
+                       help="latency bound in seconds "
+                            "(default: the trace meta's §3.5 bound)")
+
+    tl_p = trace_sub.add_parser(
+        "timeline", help="per-node activity summary")
+    tl_p.add_argument("trace", help="span trace JSONL")
+    tl_p.add_argument("--node", type=int, default=None,
+                      help="print this node's full event list")
+
+    exp_p = trace_sub.add_parser(
+        "export", help="convert a trace to another format")
+    exp_p.add_argument("trace", help="span trace JSONL")
+    exp_p.add_argument("--chrome", required=True, metavar="OUT.json",
+                       help="write Chrome trace_event JSON "
+                            "(Perfetto / chrome://tracing)")
+
+    val_p = trace_sub.add_parser(
+        "validate", help="validate a Chrome trace_event export")
+    val_p.add_argument("trace", help="Chrome trace_event JSON file")
     return parser
 
 
@@ -187,6 +244,11 @@ def _config_from(args: argparse.Namespace, protocol: str,
         checkpoint = CheckpointConfig(
             every=args.checkpoint_every,
             directory=getattr(args, "checkpoint_dir", ".repro-checkpoints"))
+    observe = None
+    if (getattr(args, "observe", False)
+            or getattr(args, "trace_out", None)
+            or getattr(args, "metrics_out", None)):
+        observe = ObsConfig()
     return ExperimentConfig(
         scenario=scenario, protocol=protocol, stack=stack,
         message_count=args.messages, message_interval=args.interval,
@@ -194,7 +256,7 @@ def _config_from(args: argparse.Namespace, protocol: str,
         chaos=chaos, oracle=oracle,
         signature_scheme=getattr(args, "scheme", "hmac"),
         profile=getattr(args, "profile", False),
-        checkpoint=checkpoint)
+        checkpoint=checkpoint, observe=observe)
 
 
 def _print_report(result, out, *, oracle: bool = False) -> None:
@@ -221,6 +283,19 @@ def _print_report(result, out, *, oracle: bool = False) -> None:
         for phase, stats in sorted(result.profile.items()):
             print(f"  {phase:<18}{stats['count']:>10.0f} calls"
                   f"{stats['seconds'] * 1e3:>12.3f} ms", file=out)
+    if result.trace is not None:
+        trace = result.trace
+        spans = {key[len("spans."):]: value
+                 for key, value in trace.get("counters", {}).items()
+                 if key.startswith("spans.")}
+        top = sorted(spans.items(), key=lambda item: (-item[1], item[0]))[:6]
+        summary = ", ".join(f"{phase}={count}" for phase, count in top)
+        print(f"\nobservability: {trace.get('span_count', 0)} spans "
+              f"({trace.get('dropped_spans', 0)} dropped), "
+              f"{len(trace.get('series', {}).get('time', ()))} metric "
+              f"samples", file=out)
+        if summary:
+            print(f"  top phases: {summary}", file=out)
     if result.chaos_events:
         print(f"\nchaos: {result.chaos_events} fault events applied",
               file=out)
@@ -232,6 +307,105 @@ def _print_report(result, out, *, oracle: bool = False) -> None:
                   f"node={violation['node']:<4} "
                   f"{violation['invariant']} {violation['detail']}",
                   file=out)
+
+
+def _trace_main(args: argparse.Namespace, out) -> int:
+    """The ``repro trace`` subcommand family (span-trace analysis)."""
+    if args.trace_command == "validate":
+        problems = validate_chrome(args.trace)
+        if problems:
+            for problem in problems:
+                print(problem, file=out)
+            return 1
+        print(f"{args.trace}: valid trace_event document", file=out)
+        return 0
+
+    meta, spans = load_trace(args.trace)
+
+    if args.trace_command == "export":
+        count = write_chrome(spans, args.chrome, meta=meta)
+        print(f"{count} events -> {args.chrome}", file=out)
+        return 0
+
+    if args.trace_command == "path":
+        story = trace_path(spans, args.msg)
+        origin = story["origin"]
+        if origin is None:
+            print(f"{story['msg']}: no origin span in this trace", file=out)
+        else:
+            print(f"{story['msg']}: originated by node {origin['node']} "
+                  f"at t={origin['time']:.6f}", file=out)
+        for hop in story["deliveries"]:
+            sender = (f"from {hop['sender']}" if hop["sender"] is not None
+                      else "")
+            print(f"  deliver -> node {hop['node']:<4} "
+                  f"t={hop['time']:<12.6f} depth={hop['depth']} {sender} "
+                  f"[{hop['span']}]", file=out)
+        outcomes: dict = {}
+        for entry in story["nodes"].values():
+            outcomes[entry["outcome"]] = outcomes.get(entry["outcome"], 0) + 1
+        print("  outcomes: " + ", ".join(
+            f"{name}={count}" for name, count in sorted(outcomes.items())),
+            file=out)
+        for purge in story["purges"]:
+            print(f"  purge at node {purge['node']} t={purge['time']:.6f} "
+                  f"reason={purge.get('reason')} [{purge.get('span')}]",
+                  file=out)
+        if not story["deliveries"]:
+            print("  never delivered; evidence:", file=out)
+            for span in story["events"]:
+                detail = {k: v for k, v in span.items()
+                          if k not in ("seq", "span", "time", "phase",
+                                       "node", "msg", "duration")}
+                print(f"    t={span['time']:<12.6f} node={span['node']:<4} "
+                      f"{span['phase']:<12} {detail} [{span.get('span')}]",
+                      file=out)
+        if args.node is not None:
+            print(f"  causal chain to node {args.node}:", file=out)
+            for span in causal_chain(spans, args.msg, args.node):
+                print(f"    t={span['time']:<12.6f} node={span['node']:<4} "
+                      f"{span['phase']} [{span.get('span')}]", file=out)
+        return 0
+
+    if args.trace_command == "latency":
+        bound = args.bound
+        if bound is None:
+            bound = (meta.get("meta") or {}).get("latency_bound")
+        report = latency_report(spans, bound=bound)
+        print(f"{report['count']} deliveries of {report['messages']} "
+              f"messages: mean {report['mean']:.4f}s, "
+              f"min {report['min']:.4f}s, max {report['max']:.4f}s",
+              file=out)
+        for upper, count in report["buckets"]:
+            label = f"<= {upper}s" if upper is not None else f"> {report['buckets'][-2][0]}s"
+            if count:
+                print(f"  {label:<10}{count:>6}", file=out)
+        if bound is not None:
+            print(f"§3.5 bound {bound:.4f}s: "
+                  f"{len(report['violations'])} violations", file=out)
+            for row in report["violations"][:20]:
+                print(f"  {row['msg']} -> node {row['node']} "
+                      f"latency={row['latency']:.4f}s [{row['span']}]",
+                      file=out)
+        return 0
+
+    if args.trace_command == "timeline":
+        view = timeline(spans, node=args.node)
+        for node, entry in sorted(view["nodes"].items()):
+            phases = ", ".join(f"{name}={count}" for name, count
+                               in sorted(entry["phases"].items()))
+            print(f"node {node:<4} {entry['count']:>6} spans "
+                  f"t=[{entry['first']:.3f}, {entry['last']:.3f}]  {phases}",
+                  file=out)
+        for span in view.get("events", ()):
+            detail = {k: v for k, v in span.items()
+                      if k not in ("seq", "span", "time", "phase", "node",
+                                   "msg", "duration")}
+            print(f"  t={span['time']:<12.6f} {span['phase']:<12} "
+                  f"msg={span.get('msg')} {detail}", file=out)
+        return 0
+
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
@@ -246,10 +420,21 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
               "--benchmark-only -s", file=out)
         return 0
 
+    if args.command == "trace":
+        return _trace_main(args, out)
+
     if args.command == "run":
         config = _config_from(args, args.protocol, _scenario_from(args))
         result = run_experiment(config)
         _print_report(result, out, oracle=config.oracle is not None)
+        if result.trace is not None and args.trace_out:
+            count = write_trace(result.trace, args.trace_out)
+            print(f"trace: {count} spans -> {args.trace_out}", file=out)
+        if result.trace is not None and args.metrics_out:
+            rows = series_to_csv(result.trace.get("series", {}),
+                                 args.metrics_out)
+            print(f"metrics: {rows} samples -> {args.metrics_out}",
+                  file=out)
         return 0
 
     if args.command == "compare":

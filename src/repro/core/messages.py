@@ -103,7 +103,8 @@ class DataMessage:
 
     def verify(self, directory: KeyDirectory) -> bool:
         return directory.verify(self.msg_id.originator,
-                                _signed_bytes(self), self.signature)
+                                _signed_bytes(self), self.signature,
+                                msg=self.msg_id)
 
     def with_ttl(self, ttl: int) -> "DataMessage":
         return replace(self, ttl=ttl)
@@ -155,7 +156,8 @@ class GossipMessage:
 
     def verify(self, directory: KeyDirectory) -> bool:
         return directory.verify(self.msg_id.originator,
-                                _signed_bytes(self), self.signature)
+                                _signed_bytes(self), self.signature,
+                                msg=self.msg_id)
 
     @staticmethod
     def create(signer: Signer, seq: int) -> "GossipMessage":
@@ -212,7 +214,8 @@ class RequestMessage:
         if not self.gossip.verify(directory):
             return False
         return directory.verify(self.requester,
-                                _signed_bytes(self), self.signature)
+                                _signed_bytes(self), self.signature,
+                                msg=self.gossip.msg_id)
 
     @staticmethod
     def create(signer: Signer, gossip: GossipMessage,
@@ -257,7 +260,8 @@ class FindMissingMessage:
         if not self.gossip.verify(directory):
             return False
         return directory.verify(self.initiator,
-                                _signed_bytes(self), self.signature)
+                                _signed_bytes(self), self.signature,
+                                msg=self.gossip.msg_id)
 
     def with_ttl(self, ttl: int) -> "FindMissingMessage":
         return replace(self, ttl=ttl)

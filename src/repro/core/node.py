@@ -95,8 +95,9 @@ class NetworkNode:
         self.neighbors = NeighborService(
             sim, self.radio, streams.stream(f"hello:{node_id}"),
             hello_period=stack.hello_period, **hello_auth)
-        self.mute = MuteFailureDetector(sim, stack.mute)
-        self.verbose = VerboseFailureDetector(sim, stack.verbose)
+        self.mute = MuteFailureDetector(sim, stack.mute, owner=node_id)
+        self.verbose = VerboseFailureDetector(sim, stack.verbose,
+                                              owner=node_id)
         self.trust = TrustFailureDetector(sim, self.mute, self.verbose,
                                           stack.trust)
         self.overlay = OverlayManager(
@@ -111,7 +112,7 @@ class NetworkNode:
         proto_directory = directory
         if stack.protocol.verify_cache_size > 0:
             proto_directory = directory.caching_view(
-                stack.protocol.verify_cache_size)
+                stack.protocol.verify_cache_size, owner=node_id)
         self.protocol = ByzantineBroadcastProtocol(
             sim, node_id, self.radio, proto_directory, signer,
             self.mute, self.verbose, self.trust,

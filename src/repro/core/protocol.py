@@ -30,6 +30,7 @@ from ..des.random import RandomStream
 from ..des.timers import PeriodicTask
 from ..fd.events import ExpectMode, HeaderPattern, SuspicionReason
 from ..fd.mute import MuteFailureDetector
+from ..obs import context as obs
 from ..fd.trust import TrustFailureDetector
 from ..fd.verbose import VerboseFailureDetector
 from ..radio.packet import BROADCAST, Packet
@@ -202,7 +203,7 @@ class ByzantineBroadcastProtocol:
         self._rng = rng
         self._behavior = behavior or CorrectBehavior()
         self._accept_callback = accept_callback
-        self._store = MessageStore()
+        self._store = MessageStore(node_id)
         self._seq = 0
         self._forwarded_finds: Dict[Tuple[int, MessageId, int], float] = {}
         self._last_served: Dict[MessageId, float] = {}
@@ -285,7 +286,7 @@ class ByzantineBroadcastProtocol:
         for expectation in (*self._recovery_expectations.values(),
                             *self._forward_expectations.values()):
             self._mute.fulfill(expectation)
-        self._store = MessageStore()
+        self._store = MessageStore(self._node_id)
         self._forwarded_finds.clear()
         self._last_served.clear()
         self._recovery_expectations.clear()
@@ -318,8 +319,15 @@ class ByzantineBroadcastProtocol:
         TTL 1, and starts gossiping the signed existence proof.
         """
         self._seq += 1
+        ctx = obs.ACTIVE
+        if ctx is not None:
+            ctx.span("origin", self._node_id,
+                     msg=(self._node_id, self._seq), size=len(payload))
         data = DataMessage.create(self._signer, self._seq, payload, ttl=1)
         gossip = GossipMessage.create(self._signer, self._seq)
+        if ctx is not None:
+            # Two signatures: the DATA payload and its gossip proof.
+            ctx.span("sign", self._node_id, msg=data.msg_id, signatures=2)
         now = self._sim.now
         self._store.add_message(data, now)
         self._store.mark_accepted(data.msg_id)
@@ -371,21 +379,31 @@ class ByzantineBroadcastProtocol:
     def _on_data(self, message: DataMessage, link_sender: int) -> None:
         self._note_header_seen(link_sender, message.header)
         msg_id = message.msg_id
+        ctx = obs.ACTIVE
         if self._store.has_message(msg_id):
             # Line 4 of the text description: duplicates are ignored —
             # except that an embedded gossip proof is still useful.
             self.stats.duplicates_ignored += 1
+            if ctx is not None:
+                ctx.span("suppress", self._node_id, msg=msg_id,
+                         reason="duplicate", sender=link_sender)
             self._absorb_embedded_gossip(message, link_sender)
             return
         if not message.verify(self._directory):
             # Lines 22-24: bad signature → suspect the link sender.
             self.stats.bad_signatures += 1
+            if ctx is not None:
+                ctx.span("suppress", self._node_id, msg=msg_id,
+                         reason="bad_signature", sender=link_sender)
             self._trust.suspect(link_sender, SuspicionReason.BAD_SIGNATURE)
             return
         now = self._sim.now
         self._store.add_message(message, now)
         if self._store.mark_accepted(msg_id):
             self.stats.accepted += 1
+            if ctx is not None:
+                ctx.span("deliver", self._node_id, msg=msg_id,
+                         sender=link_sender)
             if self._accept_callback is not None:
                 self._accept_callback(msg_id.originator, message.payload,
                                       msg_id)
@@ -492,6 +510,10 @@ class ByzantineBroadcastProtocol:
             return
         request = RequestMessage.create(self._signer, gossip, target)
         self.stats.requests_sent += 1
+        ctx = obs.ACTIVE
+        if ctx is not None:
+            ctx.span("request", self._node_id, msg=gossip.msg_id,
+                     target=target)
         self._send(request, REQUEST_MSG, self._wire_size(request),
                    link_dest=target)
 
@@ -545,6 +567,10 @@ class ByzantineBroadcastProtocol:
                 self._signer, request.gossip,
                 claimed_holder=request.target, ttl=self._config.find_ttl)
             self.stats.finds_initiated += 1
+            ctx = obs.ACTIVE
+            if ctx is not None:
+                ctx.span("find", self._node_id, msg=msg_id, role="initiate",
+                         claimed_holder=request.target)
             self._send(find, FIND_MISSING_MSG, self._wire_size(find))
 
     # ------------------------------------------------------------------
@@ -567,6 +593,10 @@ class ByzantineBroadcastProtocol:
                 if key not in self._forwarded_finds:
                     self._forwarded_finds[key] = self._sim.now
                     self.stats.finds_forwarded += 1
+                    ctx = obs.ACTIVE
+                    if ctx is not None:
+                        ctx.span("find", self._node_id, msg=msg_id,
+                                 role="forward", ttl=find.ttl - 1)
                     forwarded = find.with_ttl(find.ttl - 1)
                     self._send(forwarded, FIND_MISSING_MSG,
                                self._wire_size(forwarded))
@@ -635,6 +665,12 @@ class ByzantineBroadcastProtocol:
               link_dest: int = BROADCAST) -> bool:
         filtered = self._behavior.filter_outgoing(kind, message)
         if filtered is None:
+            # A Byzantine behaviour ate the send: the span is the only
+            # evidence of why this message never hit the air.
+            ctx = obs.ACTIVE
+            if ctx is not None:
+                ctx.span("suppress", self._node_id, msg=obs.msg_of(message),
+                         reason="behavior", kind=kind)
             return False
         self._transport.send(filtered, size_bytes=size, kind=kind,
                              link_dest=link_dest)
@@ -661,6 +697,10 @@ class ByzantineBroadcastProtocol:
         if not self._serve_allowed(msg_id):
             return
         setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        ctx = obs.ACTIVE
+        if ctx is not None:
+            ctx.span("serve", self._node_id, msg=msg_id, counter=counter,
+                     dest=link_dest)
         self._send_data(message.with_ttl(ttl), link_dest=link_dest)
 
     def _serve_allowed(self, msg_id: MessageId) -> bool:

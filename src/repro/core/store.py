@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from ..obs import context as obs
 from .messages import DataMessage, GossipMessage, MessageId
 
 __all__ = ["MessageStore", "StoredMessage"]
@@ -32,7 +33,10 @@ class StoredMessage:
 class MessageStore:
     """State container for :class:`ByzantineBroadcastProtocol`."""
 
-    def __init__(self) -> None:
+    def __init__(self, node_id: Optional[int] = None) -> None:
+        # Owning node, for observability only (purge spans); stores built
+        # outside a node (tests, tools) may leave it unset.
+        self._node_id = node_id
         self._messages: Dict[MessageId, StoredMessage] = {}
         self._accepted: Set[MessageId] = set()
         self._gossips: Dict[MessageId, GossipMessage] = {}
@@ -201,6 +205,9 @@ class MessageStore:
         self._gossiping.pop(msg_id, None)
         self._gossip_last_served.pop(msg_id, None)
         self._last_request.pop(msg_id, None)
+        ctx = obs.ACTIVE
+        if ctx is not None and self._node_id is not None:
+            ctx.span("purge", self._node_id, msg=msg_id, reason="stability")
         return True
 
     def purge(self, now: float, timeout: float) -> List[MessageId]:
@@ -217,9 +224,14 @@ class MessageStore:
         sane configuration, so expiring the entry cannot re-enable an
         earlier request than pacing alone would have allowed.
         """
+        ctx = obs.ACTIVE
         purged = [msg_id for msg_id, stored in self._messages.items()
                   if now - stored.received_at >= timeout]
         for msg_id in purged:
+            if ctx is not None and self._node_id is not None:
+                held = now - self._messages[msg_id].received_at
+                ctx.span("purge", self._node_id, msg=msg_id,
+                         reason="timeout", held=held)
             del self._messages[msg_id]
             self._gossips.pop(msg_id, None)
             self._gossiping.pop(msg_id, None)

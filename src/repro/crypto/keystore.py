@@ -184,7 +184,12 @@ class KeyDirectory:
         """Issue (generate) keys for a new node; returns its signer."""
         return self._scheme.register(node_id)
 
-    def verify(self, node_id: int, message: bytes, signature: bytes) -> bool:
+    def verify(self, node_id: int, message: bytes, signature: bytes,
+               msg=None) -> bool:
+        """True iff the signature checks out.  ``msg`` is an optional
+        :class:`~repro.core.messages.MessageId` giving observability the
+        message the verification is *about*; it never affects the
+        cryptographic outcome."""
         prof = profiling.ACTIVE
         if prof is None:
             return self._scheme.verify(node_id, message, signature)
@@ -193,10 +198,12 @@ class KeyDirectory:
         prof.add("crypto.verify", perf_counter() - start)
         return ok
 
-    def caching_view(self, size: int) -> "KeyDirectory":
+    def caching_view(self, size: int,
+                     owner: Optional[int] = None) -> "KeyDirectory":
         """A per-node verifying view with a bounded verified-signature
         LRU (see :mod:`repro.crypto.verifycache`).  Only positive
         results of full verification are memoized; negatives always
-        re-fail, so Byzantine accounting is unaffected."""
+        re-fail, so Byzantine accounting is unaffected.  ``owner`` names
+        the node holding the view, so verify spans land on it."""
         from .verifycache import CachingKeyDirectory
-        return CachingKeyDirectory(self, size)
+        return CachingKeyDirectory(self, size, owner=owner)

@@ -32,7 +32,10 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 
+from typing import Optional
+
 from .. import profiling
+from ..obs import context as obs
 from .keystore import KeyDirectory
 
 __all__ = ["VerifyCache", "CachingKeyDirectory"]
@@ -113,23 +116,34 @@ class CachingKeyDirectory(KeyDirectory):
     and only a ``True`` outcome is stored.
     """
 
-    def __init__(self, base: KeyDirectory, size: int):
+    def __init__(self, base: KeyDirectory, size: int,
+                 owner: Optional[int] = None):
         super().__init__(base.scheme)
         self._base = base
+        # The node holding this view; verify spans are attributed to it.
+        # Views built without an owner simply emit no spans.
+        self._owner = owner
         self.cache = VerifyCache(size)
 
     @property
     def base(self) -> KeyDirectory:
         return self._base
 
-    def verify(self, node_id: int, message: bytes, signature: bytes) -> bool:
+    def verify(self, node_id: int, message: bytes, signature: bytes,
+               msg=None) -> bool:
         key = VerifyCache.key(node_id, message, signature)
+        ctx = obs.ACTIVE
         if self.cache.check(key):
             prof = profiling.ACTIVE
             if prof is not None:
                 prof.add("crypto.verify_hit")
+            if ctx is not None and self._owner is not None:
+                ctx.span("verify_hit", self._owner, msg=msg,
+                         signer=node_id)
             return True
         ok = super().verify(node_id, message, signature)
         if ok:
             self.cache.add(key)
+        if ctx is not None and self._owner is not None:
+            ctx.span("verify", self._owner, msg=msg, signer=node_id, ok=ok)
         return ok

@@ -20,10 +20,11 @@ of §2.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Set
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Set
 
 from ..des.kernel import Simulator
 from ..des.timers import PeriodicTask
+from ..obs import context as obs
 from .events import ExpectMode, HeaderPattern, SuspicionReason
 
 __all__ = ["MuteConfig", "MuteFailureDetector", "Expectation"]
@@ -78,9 +79,13 @@ class MuteStats:
 class MuteFailureDetector:
     """Per-node MUTE detector (one instance per protocol node)."""
 
-    def __init__(self, sim: Simulator, config: MuteConfig = MuteConfig()):
+    def __init__(self, sim: Simulator, config: MuteConfig = MuteConfig(),
+                 owner: Optional[int] = None):
         self._sim = sim
         self._config = config
+        # The node this detector belongs to; fd spans are attributed to
+        # it.  Detectors built without an owner emit no spans.
+        self._owner = owner
         self._expectations: List[Expectation] = []
         self._counters: Dict[int, int] = {}
         self._listeners: List[SuspectListener] = []
@@ -201,6 +206,17 @@ class MuteFailureDetector:
             self._expectations.remove(expectation)
         except ValueError:
             pass
+        ctx = obs.ACTIVE
+        if ctx is not None and self._owner is not None:
+            fields = expectation.pattern.fields
+            originator = fields.get("originator")
+            seq = fields.get("seq")
+            msg = ((originator, seq)
+                   if isinstance(originator, int) and isinstance(seq, int)
+                   else None)
+            ctx.span("fd_timeout", self._owner, msg=msg,
+                     kind=str(fields.get("type", "?")),
+                     pending=sorted(expectation.pending))
         for node in sorted(expectation.pending):
             self._strike(node)
 
@@ -208,6 +224,9 @@ class MuteFailureDetector:
         count = self._counters.get(node, 0) + 1
         self._counters[node] = count
         self._aging.start()
+        ctx = obs.ACTIVE
+        if ctx is not None and self._owner is not None:
+            ctx.span("fd_strike", self._owner, target=node, counter=count)
         if count == self._config.suspicion_threshold:
             self.stats.suspicions_raised += 1
             for listener in self._listeners:

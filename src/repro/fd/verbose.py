@@ -19,10 +19,11 @@ the detector recovers from bursts of false indictments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..des.kernel import Simulator
 from ..des.timers import PeriodicTask
+from ..obs import context as obs
 from .events import SuspicionReason
 
 __all__ = ["VerboseConfig", "VerboseFailureDetector"]
@@ -56,9 +57,13 @@ class VerboseFailureDetector:
     """Per-node VERBOSE detector."""
 
     def __init__(self, sim: Simulator,
-                 config: VerboseConfig = VerboseConfig()):
+                 config: VerboseConfig = VerboseConfig(),
+                 owner: Optional[int] = None):
         self._sim = sim
         self._config = config
+        # The node this detector belongs to; fd spans are attributed to
+        # it.  Detectors built without an owner emit no spans.
+        self._owner = owner
         self._counters: Dict[int, int] = {}
         self._min_spacing: Dict[str, float] = {}
         self._last_arrival: Dict[Tuple[int, str], float] = {}
@@ -83,6 +88,9 @@ class VerboseFailureDetector:
         count = self._counters.get(node_id, 0) + 1
         self._counters[node_id] = count
         self._aging.start()
+        ctx = obs.ACTIVE
+        if ctx is not None and self._owner is not None:
+            ctx.span("fd_indict", self._owner, target=node_id, counter=count)
         if count == self._config.suspicion_threshold:
             self.stats.suspicions_raised += 1
             for listener in self._listeners:

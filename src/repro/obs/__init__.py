@@ -1,0 +1,66 @@
+"""Causal observability for the simulation stack (``repro.obs``).
+
+Three pieces, all deterministic and zero-cost when disabled:
+
+* :mod:`repro.obs.context` — lifecycle :class:`Span` records with ids
+  derived from ``(message_id, node, occurrence)``, collected by the
+  process-wide :data:`ACTIVE` context the instrumented seams consult
+  (the :mod:`repro.profiling` pattern);
+* :mod:`repro.obs.registry` / :mod:`repro.obs.sampler` — named
+  counters/gauges/histograms plus a virtual-time metric sampler feeding
+  time series into campaign records;
+* :mod:`repro.obs.export` / :mod:`repro.obs.analyze` — JSONL / CSV /
+  Chrome ``trace_event`` exporters and the causal-path, latency-bound
+  and timeline analyzers behind the ``repro trace`` CLI.
+
+Enable per experiment with ``ExperimentConfig(observe=ObsConfig())`` or
+``repro run --observe --trace-out trace.jsonl``.
+"""
+
+from .analyze import (causal_chain, latency_report, message_ids, parse_msg,
+                      timeline, trace_path)
+from .context import (PHASES, ObsConfig, ObsContext, Span, activate, active,
+                      deactivate, msg_key, msg_of, session, span_id)
+
+# NOTE: the live ``ACTIVE`` global is deliberately NOT re-exported here —
+# a ``from .context import ACTIVE`` would snapshot it by value and never
+# see later (de)activations.  Instrumented modules import the context
+# module itself (``from ..obs import context as obs``) and read
+# ``obs.ACTIVE``; external callers use :func:`active`.
+from .export import (chrome_trace, load_trace, series_to_csv,
+                     validate_chrome, write_chrome, write_trace)
+from .registry import (Counter, Gauge, Histogram, MetricRegistry,
+                       merge_payloads)
+from .sampler import MetricSampler
+
+__all__ = [
+    "PHASES",
+    "ObsConfig",
+    "Span",
+    "ObsContext",
+    "activate",
+    "deactivate",
+    "active",
+    "session",
+    "msg_of",
+    "msg_key",
+    "span_id",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "MetricSampler",
+    "merge_payloads",
+    "write_trace",
+    "load_trace",
+    "series_to_csv",
+    "chrome_trace",
+    "write_chrome",
+    "validate_chrome",
+    "parse_msg",
+    "message_ids",
+    "trace_path",
+    "causal_chain",
+    "latency_report",
+    "timeline",
+]

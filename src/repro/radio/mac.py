@@ -23,6 +23,7 @@ from typing import Deque, Optional
 
 from ..des.kernel import Simulator
 from ..des.random import RandomStream
+from ..obs import context as obs
 from .medium import Medium
 from .packet import Packet
 
@@ -87,11 +88,20 @@ class CsmaMac:
 
         Returns False if the queue is full and the packet was dropped.
         """
+        ctx = obs.ACTIVE
         if len(self._queue) >= self._config.queue_limit:
             self.stats.dropped_queue_full += 1
+            if ctx is not None:
+                ctx.span("mac_drop", self._node_id,
+                         msg=obs.msg_of(packet.payload), kind=packet.kind,
+                         reason="queue_full")
             return False
         self._queue.append(packet)
         self.stats.enqueued += 1
+        if ctx is not None:
+            ctx.span("mac_enqueue", self._node_id,
+                     msg=obs.msg_of(packet.payload), kind=packet.kind,
+                     queue=len(self._queue))
         if not self._sending:
             self._sending = True
             self._attempts = 0
@@ -105,11 +115,16 @@ class CsmaMac:
             self._sending = False
             return
         if self._medium.channel_busy_at(self._node_id):
+            ctx = obs.ACTIVE
             self.stats.busy_samples += 1
             self._attempts += 1
             if self._attempts >= self._config.max_attempts:
-                self._queue.popleft()
+                packet = self._queue.popleft()
                 self.stats.dropped_max_attempts += 1
+                if ctx is not None:
+                    ctx.span("mac_drop", self._node_id,
+                             msg=obs.msg_of(packet.payload),
+                             kind=packet.kind, reason="max_attempts")
                 self._attempts = 0
                 self._sim.call_soon(self._attempt)
                 return
@@ -117,7 +132,12 @@ class CsmaMac:
                 self._config.backoff_base_s
                 * (self._config.backoff_factor ** (self._attempts - 1)),
                 self._config.backoff_cap_s)
-            self._sim.schedule(self._rng.uniform(0.0, window), self._attempt)
+            delay = self._rng.uniform(0.0, window)
+            if ctx is not None:
+                ctx.span("backoff", self._node_id,
+                         msg=obs.msg_of(self._queue[0].payload),
+                         duration=delay, attempt=self._attempts)
+            self._sim.schedule(delay, self._attempt)
             return
         packet = self._queue.popleft()
         self._attempts = 0

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .. import profiling
 from ..des.kernel import Simulator
 from ..des.random import RandomStream
+from ..obs import context as obs
 from .geometry import Position
 from .grid import SpatialHashGrid
 from .packet import Packet
@@ -266,6 +267,11 @@ class Medium:
         )
         self._transmissions.append(tx)
         self.stats.record_transmit(packet)
+        ctx = obs.ACTIVE
+        if ctx is not None:
+            ctx.span("tx", node_id, msg=obs.msg_of(packet.payload),
+                     duration=tx.end - now, kind=packet.kind,
+                     size=packet.size_bytes)
         for observer in self._observers:
             observer.on_transmit(node_id, packet)
         self._sim.schedule_at(tx.end, self._complete, tx)
@@ -314,19 +320,37 @@ class Medium:
         distance = tx.origin.distance_to(position)
         if distance >= self._propagation.max_reach(tx.tx_range):
             return
+        ctx = obs.ACTIVE
         if self._transmitted_during(radio.node_id, tx):
             self.stats.half_duplex_losses += 1
+            if ctx is not None:
+                ctx.span("loss", radio.node_id,
+                         msg=obs.msg_of(tx.packet.payload),
+                         kind=tx.packet.kind, sender=tx.sender,
+                         reason="half_duplex")
             return
         if self._interfered(tx, radio.node_id, position):
             self.stats.collisions += 1
+            if ctx is not None:
+                ctx.span("collision", radio.node_id,
+                         msg=obs.msg_of(tx.packet.payload),
+                         kind=tx.packet.kind, sender=tx.sender)
             for observer in self._observers:
                 observer.on_collision(radio.node_id, tx.packet)
             return
         if not self._propagation.reception_succeeds(
                 distance, tx.tx_range, self._rng):
             self.stats.propagation_losses += 1
+            if ctx is not None:
+                ctx.span("loss", radio.node_id,
+                         msg=obs.msg_of(tx.packet.payload),
+                         kind=tx.packet.kind, sender=tx.sender,
+                         reason="propagation")
             return
         self.stats.deliveries += 1
+        if ctx is not None:
+            ctx.span("rx", radio.node_id, msg=obs.msg_of(tx.packet.payload),
+                     kind=tx.packet.kind, sender=tx.sender)
         for observer in self._observers:
             observer.on_deliver(radio.node_id, tx.packet)
         radio.handler(tx.packet)

@@ -6,6 +6,7 @@ from typing import Callable, Optional
 
 from ..des.kernel import Simulator
 from ..des.random import RandomStream
+from ..obs import context as obs
 from .geometry import Position
 from .mac import CsmaMac, MacConfig
 from .medium import Medium
@@ -115,6 +116,11 @@ class Radio:
 
     def _on_packet(self, packet: Packet) -> None:
         if self._deaf:
+            ctx = obs.ACTIVE
+            if ctx is not None:
+                ctx.span("loss", self._node_id,
+                         msg=obs.msg_of(packet.payload), kind=packet.kind,
+                         sender=packet.sender, reason="deaf")
             return
         if self._receiver is not None:
             self._receiver(packet)

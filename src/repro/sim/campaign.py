@@ -31,7 +31,22 @@ __all__ = ["Campaign", "config_key", "result_to_record"]
 
 def result_to_record(config: ExperimentConfig,
                      result: ExperimentResult) -> Dict[str, Any]:
-    """A flat, JSON-serializable record of one run."""
+    """A flat, JSON-serializable record of one run.
+
+    Observed runs (``config.observe``) contribute a ``metrics`` block —
+    the virtual-time series, final counters, and span count — but never
+    the raw span stream: spans scale with traffic and belong in trace
+    files (``repro run --trace-out``), not campaign records.
+    """
+    metrics = None
+    if result.trace is not None:
+        metrics = {
+            "meta": _jsonable(result.trace.get("meta")),
+            "series": _jsonable(result.trace.get("series")),
+            "counters": _jsonable(result.trace.get("counters")),
+            "span_count": result.trace.get("span_count"),
+            "dropped_spans": result.trace.get("dropped_spans"),
+        }
     return {
         "key": config_key(config),
         "protocol": result.protocol,
@@ -48,6 +63,7 @@ def result_to_record(config: ExperimentConfig,
         "invariant_violations": result.invariant_violations,
         "violations": _jsonable(result.violations),
         "profile": _jsonable(result.profile),
+        "metrics": metrics,
         "physical": _jsonable(result.physical),
         "energy": _jsonable(result.energy),
         "overlay_quality": _jsonable(result.overlay_quality),

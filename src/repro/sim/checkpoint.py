@@ -50,7 +50,9 @@ __all__ = [
 ]
 
 #: Bump when the snapshot payload layout changes; older files are refused.
-CHECKPOINT_VERSION = 1
+#: v2: ``ExperimentWorld`` gained ``obs``/``profiler`` (instruments ride
+#: in the world so resume continues their streams).
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(RuntimeError):
@@ -94,13 +96,15 @@ def _jsonable(value: Any) -> Any:
 def config_key(config: Any) -> str:
     """Stable content hash identifying one configuration.
 
-    The ``checkpoint`` field (when present) is excluded: how often a run
-    snapshots itself does not change what it simulates, and a resumed run
-    must land on the same record key as the uninterrupted run it replaces.
+    The ``checkpoint`` and ``observe`` fields (when present) are
+    excluded: how often a run snapshots itself — or what it records about
+    itself — does not change what it simulates, and a resumed or observed
+    run must land on the same record key as the plain run it replaces.
     """
     canonical_dict = _jsonable(config)
     if isinstance(canonical_dict, dict):
         canonical_dict.pop("checkpoint", None)
+        canonical_dict.pop("observe", None)
     canonical = json.dumps(canonical_dict, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 

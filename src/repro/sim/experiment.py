@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from ..adversary.policies import make_behavior
 from ..baselines.flooding import FloodingNode
@@ -50,11 +51,14 @@ from ..mobility.placement import (
 )
 from ..mobility.gaussmarkov import GaussMarkov
 from ..mobility.waypoint import RandomWalk, RandomWaypoint, StaticMobility
+from ..obs import MetricSampler, ObsConfig, ObsContext
+from ..obs import session as obs_session
 from ..overlay.metrics import OverlayQuality, evaluate_overlay
 from ..radio.energy import EnergyModel
 from ..radio.geometry import Area, Position
 from ..radio.medium import Medium
 from ..radio.propagation import LogNormalShadowing, UnitDisk
+from ..tracing.recorder import TraceRecorder
 from ..workloads.scenarios import ScenarioConfig
 from ..workloads.sources import BroadcastEvent, periodic_source
 from .checkpoint import (
@@ -107,6 +111,12 @@ class ExperimentConfig:
     #: campaign content hash, and a checkpointed run's final result is
     #: byte-identical to an uninterrupted one.
     checkpoint: Optional[CheckpointConfig] = None
+    #: Causal observability settings (see :mod:`repro.obs`); None
+    #: disables it at zero cost.  Like ``checkpoint``, an execution knob
+    #: excluded from the campaign content hash: it records what the run
+    #: does without changing what the run does.  The result then carries
+    #: lifecycle spans and virtual-time metric series in ``trace``.
+    observe: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -156,6 +166,9 @@ class ExperimentResult:
     #: Per-phase cost profile ``{phase: {"count": n, "seconds": s}}``;
     #: None unless the run was configured with ``profile=True``.
     profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: Observability payload (span stream, metric series, counters, run
+    #: metadata); None unless the run was configured with ``observe``.
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def protocol_transmissions(self) -> float:
@@ -221,16 +234,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     this configuration already exists in ``checkpoint.directory`` (a
     previous run was killed mid-flight) — resumes from it instead of
     restarting.  Either way the returned result is identical to an
-    uninterrupted run's (profile seconds excepted: wall-clock is never
-    part of the determinism contract, and a resumed profile covers only
-    the continuation).
+    uninterrupted run's.  The profiler and observability context live
+    *inside* the world (not wrapped around this call), so a resumed run
+    continues the same counters and span streams and its profile/trace
+    match the uninterrupted run's (profile *seconds* excepted:
+    wall-clock is never part of the determinism contract).
     """
-    if not config.profile:
-        return _run_experiment_body(config)
-    with profiling.session() as prof:
-        result = _run_experiment_body(config)
-    result.profile = prof.summary()
-    return result
+    return _run_experiment_body(config)
 
 
 def resume_experiment(path: str) -> ExperimentResult:
@@ -242,14 +252,7 @@ def resume_experiment(path: str) -> ExperimentResult:
     have fired, so the result matches byte for byte (modulo profile
     wall-clock seconds).
     """
-    world = load_checkpoint(path)
-    config = world.config
-    if not config.profile:
-        return finish_world(world)
-    with profiling.session() as prof:
-        result = finish_world(world)
-    result.profile = prof.summary()
-    return result
+    return finish_world(load_checkpoint(path))
 
 
 def _scheme(config: ExperimentConfig):
@@ -287,6 +290,31 @@ class ExperimentWorld:
     #: :func:`finish_world` emits a ``checkpoint`` trace event per
     #: snapshot.  Must itself be picklable (the stock recorder is).
     recorder: object = None
+    #: Observability context (``config.observe``); rides in the world so
+    #: checkpoints carry spans, occurrence counters, and metric series
+    #: already recorded — a resume continues the same streams.
+    obs: Optional[ObsContext] = None
+    #: Per-phase cost profiler (``config.profile``); in the world for the
+    #: same reason — phase *counts* survive a resume intact.
+    profiler: Optional[profiling.Profiler] = None
+
+
+@contextmanager
+def _instruments(profiler: Optional[profiling.Profiler],
+                 obs_ctx: Optional[ObsContext]) -> Iterator[None]:
+    """Activate a world's own instruments around a run segment.
+
+    Both instruments are consulted through process-globals by the hot
+    paths; installing the *world's* instances (rather than fresh ones per
+    :func:`run_experiment` call) is what lets checkpoint/resume continue
+    the same profile counters and span streams.
+    """
+    with ExitStack() as stack:
+        if profiler is not None:
+            stack.enter_context(profiling.session(profiler))
+        if obs_ctx is not None:
+            stack.enter_context(obs_session(obs_ctx))
+        yield
 
 
 def _run_experiment_body(config: ExperimentConfig) -> ExperimentResult:
@@ -350,13 +378,21 @@ def build_world(config: ExperimentConfig) -> ExperimentWorld:
         if controller is not None:
             controller.add_listener(oracle.chaos_listener)
 
+    profiler = profiling.Profiler() if config.profile else None
+    recorder = None
+    obs_ctx: Optional[ObsContext] = None
+    if config.observe is not None:
+        obs_ctx, recorder = _build_observability(
+            config, sim, nodes, medium, energy, controller, oracle, events)
+
     mobility = _mobility(scenario, sim, [node.radio for node in nodes],
                          area, streams)
     for node in nodes:
         node.start()
     mobility.start()
 
-    sim.run(until=config.warmup)
+    with _instruments(profiler, obs_ctx):
+        sim.run(until=config.warmup)
 
     for event in events:
         sim.schedule_at(config.warmup + event.time, _inject, sim, collector,
@@ -373,7 +409,66 @@ def build_world(config: ExperimentConfig) -> ExperimentWorld:
         config=config, sim=sim, streams=streams, nodes=nodes, medium=medium,
         energy=energy, collector=collector, controller=controller,
         oracle=oracle, mobility=mobility, assignment=assignment,
-        correct=correct, horizon=horizon)
+        correct=correct, horizon=horizon, recorder=recorder, obs=obs_ctx,
+        profiler=profiler)
+
+
+#: Recorder categories for observed runs: spans/metrics plus the run-level
+#: streams that interleave with them.  Physical categories (tx/rx/
+#: collision) are excluded by default — the medium taps would double-record
+#: what the tx/collision/rx *spans* already carry.
+OBS_CATEGORIES = ("span", "metric", "chaos", "violation", "checkpoint")
+
+
+def _build_observability(config: ExperimentConfig, sim: Simulator, nodes,
+                         medium: Medium, energy: EnergyModel,
+                         controller: Optional[ChaosController],
+                         oracle: Optional[InvariantOracle],
+                         events: Sequence[BroadcastEvent]):
+    """Assemble the observability context, recorder fan-in, and metric
+    sampler for one world.  Returns ``(context, recorder)``."""
+    scenario = config.scenario
+    observe = config.observe
+    obs_ctx = ObsContext(observe, sim=sim)
+    recorder = TraceRecorder(sim,
+                             categories=observe.categories or OBS_CATEGORIES)
+    recorder.attach_medium(medium)
+    if config.protocol == "byzcast":
+        for node in nodes:
+            recorder.attach_node(node)
+    if controller is not None:
+        recorder.attach_chaos(controller)
+    if oracle is not None:
+        recorder.attach_oracle(oracle)
+    obs_ctx.attach_recorder(recorder)
+
+    if oracle is not None:
+        latency_bound = oracle.latency_bound
+        buffer_bound = oracle.buffer_bound
+    else:
+        # Same §3.5 instantiation the oracle uses, so `repro trace
+        # latency` can flag bound violations on oracle-less runs too.
+        proto = config.stack.protocol
+        oracle_defaults = OracleConfig()
+        latency_bound = (proto.max_timeout(oracle_defaults.transmission_time)
+                         * max(1, scenario.n - 1))
+        buffer_bound = (math.ceil(max(0.0, _offered_rate(list(events)))
+                                  * proto.purge_timeout)
+                        + oracle_defaults.buffer_slack)
+    obs_ctx.meta.update({
+        "n": scenario.n,
+        "seed": scenario.seed,
+        "protocol": config.protocol,
+        "warmup": config.warmup,
+        "latency_bound": latency_bound,
+        "buffer_bound": buffer_bound,
+        "sample_period": observe.sample_period,
+    })
+    sampler = MetricSampler(sim, obs_ctx, nodes, medium, energy=energy,
+                            buffer_bound=buffer_bound)
+    obs_ctx.attach_sampler(sampler)
+    sampler.start()
+    return obs_ctx, recorder
 
 
 def _next_boundary(now: float, every: float) -> float:
@@ -400,20 +495,21 @@ def finish_world(world: ExperimentWorld) -> ExperimentResult:
     config = world.config
     sim = world.sim
     ckpt = config.checkpoint
-    if ckpt is None:
-        sim.run(until=world.horizon)
-    else:
-        key = config_key(config)
-        while sim.now < world.horizon:
-            boundary = _next_boundary(sim.now, ckpt.every)
-            if boundary >= world.horizon:
-                sim.run(until=world.horizon)
-                break
-            sim.run(until=boundary)
-            path = write_checkpoint(world, key, ckpt.directory)
-            if world.recorder is not None:
-                world.recorder.record_checkpoint(
-                    path, events_fired=sim.events_fired)
+    with _instruments(world.profiler, world.obs):
+        if ckpt is None:
+            sim.run(until=world.horizon)
+        else:
+            key = config_key(config)
+            while sim.now < world.horizon:
+                boundary = _next_boundary(sim.now, ckpt.every)
+                if boundary >= world.horizon:
+                    sim.run(until=world.horizon)
+                    break
+                sim.run(until=boundary)
+                path = write_checkpoint(world, key, ckpt.directory)
+                if world.recorder is not None:
+                    world.recorder.record_checkpoint(
+                        path, events_fired=sim.events_fired)
 
     scenario = config.scenario
     collector = world.collector
@@ -427,10 +523,12 @@ def finish_world(world: ExperimentWorld) -> ExperimentResult:
         controller.stop()
     for node in world.nodes:
         node.stop()
+    if world.obs is not None:
+        world.obs.stop()
     if ckpt is not None:
         discard_checkpoint(ckpt.directory, config_key(config))
 
-    return ExperimentResult(
+    result = ExperimentResult(
         protocol=config.protocol,
         n=scenario.n,
         byzantine=len(world.assignment),
@@ -449,6 +547,11 @@ def finish_world(world: ExperimentWorld) -> ExperimentResult:
         violations=([v.to_dict() for v in oracle.violations]
                     if oracle else []),
     )
+    if world.profiler is not None:
+        result.profile = world.profiler.summary()
+    if world.obs is not None:
+        result.trace = world.obs.export_payload()
+    return result
 
 
 def run_many(configs: Sequence[ExperimentConfig],

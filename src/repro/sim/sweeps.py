@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import merge_payloads
 from ..workloads.scenarios import ScenarioConfig
 from .checkpoint import CheckpointConfig
 from .experiment import (
@@ -127,6 +128,13 @@ def average_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
                     phase, {"count": 0, "seconds": 0.0})
                 bucket["count"] += stats.get("count", 0)
                 bucket["seconds"] += stats.get("seconds", 0.0)
+    # Observability payloads average (metric series element-wise, counters
+    # summed); span streams are per-run artifacts and do not survive
+    # averaging — see :func:`repro.obs.merge_payloads`.
+    trace = None
+    traced = [r.trace for r in results if r.trace]
+    if traced:
+        trace = merge_payloads(traced)
     return ExperimentResult(
         protocol=first.protocol,
         n=first.n,
@@ -149,4 +157,5 @@ def average_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
         invariant_violations=sum(r.invariant_violations for r in results),
         violations=[v for r in results for v in r.violations],
         profile=profile,
+        trace=trace,
     )

@@ -24,16 +24,24 @@ __all__ = ["TraceEvent", "TraceRecorder"]
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded occurrence."""
+    """One recorded occurrence.
+
+    ``seq`` is the recorder's monotonic emission index.  ``to_dict``
+    rounds ``time`` for readability, which can collapse distinct events
+    recorded within the same microsecond — ``seq`` keeps the exported
+    order total and re-importable regardless.
+    """
 
     time: float
     category: str
     node: int
     details: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"time": round(self.time, 6), "category": self.category,
-                "node": self.node, **self.details}
+        return {"seq": self.seq, "time": round(self.time, 6),
+                "category": self.category, "node": self.node,
+                **self.details}
 
 
 class _MediumTap(MediumObserver):
@@ -118,10 +126,12 @@ class _ViolationTap:
 class TraceRecorder:
     """Collects :class:`TraceEvent` objects from a live simulation."""
 
-    #: Categories recorded when no filter is supplied.
+    #: Categories recorded when no filter is supplied.  ``span`` and
+    #: ``metric`` carry the fan-in from :mod:`repro.obs` (lifecycle spans
+    #: and sampled metric rows).
     ALL_CATEGORIES = ("tx", "rx", "collision", "accept", "suspect",
                       "trust", "overlay", "chaos", "violation", "profile",
-                      "checkpoint")
+                      "checkpoint", "span", "metric")
 
     def __init__(self, sim: Simulator,
                  categories: Optional[Iterable[str]] = None,
@@ -133,6 +143,7 @@ class TraceRecorder:
         if unknown:
             raise ValueError(f"unknown trace categories: {sorted(unknown)}")
         self._capacity = capacity
+        self._seq = 0
         self.events: List[TraceEvent] = []
         self.dropped = 0
 
@@ -207,8 +218,10 @@ class TraceRecorder:
         if self._capacity is not None and len(self.events) >= self._capacity:
             self.dropped += 1
             return
+        self._seq += 1
         self.events.append(TraceEvent(time=self._sim.now, category=category,
-                                      node=node, details=details))
+                                      node=node, details=details,
+                                      seq=self._seq))
 
     def select(self, category: Optional[str] = None,
                node: Optional[int] = None,
@@ -247,3 +260,4 @@ class TraceRecorder:
     def clear(self) -> None:
         self.events.clear()
         self.dropped = 0
+        self._seq = 0

@@ -148,6 +148,80 @@ def test_worker_pool_matches_serial_with_cache_matrix():
     assert serial == pooled
 
 
+#: A fixed mixed-fault schedule for the observed-determinism matrix.
+OBSERVED_SCHEDULE = FaultSchedule(events=(
+    FaultEvent(time=1.0, node=7, action="mute"),
+    FaultEvent(time=2.0, node=6, action="deaf"),
+    FaultEvent(time=3.0, node=8, action="crash"),
+    FaultEvent(time=4.0, node=8, action="restart"),
+))
+
+
+def observed(config):
+    from dataclasses import replace
+
+    from repro.obs import ObsConfig
+
+    return replace(config, observe=ObsConfig())
+
+
+def trace_bytes(result):
+    """The span stream + metric series as one canonical byte string —
+    the byte-identity target of the observability determinism matrix
+    (the raw merged recorder stream is *not* compared: checkpoint events
+    legitimately differ between resumed and uninterrupted runs)."""
+    assert result.trace is not None
+    return json.dumps(result.trace, sort_keys=True)
+
+
+def test_observed_traces_identical_across_worker_counts():
+    """workers=1 vs workers=4: span streams, metric series and campaign
+    records of observed runs are byte-identical."""
+    configs = [observed(small_config(OBSERVED_SCHEDULE, seed))
+               for seed in (41, 42, 43, 44)]
+    serial = run_many(configs, workers=1)
+    pooled = run_many(configs, workers=4)
+    assert [trace_bytes(r) for r in serial] == \
+        [trace_bytes(r) for r in pooled]
+    assert [canonical(c, r) for c, r in zip(configs, serial)] == \
+        [canonical(c, r) for c, r in zip(configs, pooled)]
+
+
+def test_observed_traces_identical_grid_vs_brute():
+    """Grid vs brute-force medium indexing: identical span streams —
+    including the radio-level collision/loss spans the media emit."""
+    config = observed(small_config(OBSERVED_SCHEDULE, 47))
+    default = Medium.DEFAULT_USE_GRID
+    try:
+        Medium.DEFAULT_USE_GRID = True
+        gridded = run_experiment(config)
+        Medium.DEFAULT_USE_GRID = False
+        brute = run_experiment(config)
+    finally:
+        Medium.DEFAULT_USE_GRID = default
+    assert trace_bytes(gridded) == trace_bytes(brute)
+    assert canonical(config, gridded) == canonical(config, brute)
+
+
+def test_observation_does_not_perturb_the_run():
+    """An observed run and a plain run of the same config produce the
+    same record (modulo the metrics block observation adds and the config
+    block that names the knob): recording must never change the run."""
+    plain_config = small_config(OBSERVED_SCHEDULE, 53)
+    observed_config = observed(plain_config)
+
+    def stripped(config, result):
+        record = result_to_record(config, result)
+        record.pop("config")
+        record.pop("metrics")
+        return json.dumps(record, sort_keys=True)
+
+    plain = run_experiment(plain_config)
+    traced = run_experiment(observed_config)
+    assert stripped(plain_config, plain) == \
+        stripped(observed_config, traced)
+
+
 def test_acceptance_schedule_deterministic_across_workers():
     """The issue's acceptance shape: one schedule touching every fault
     family, identical records across two invocations and across

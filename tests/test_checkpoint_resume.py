@@ -278,6 +278,73 @@ def test_recorder_logs_checkpoints(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Instruments ride inside the world: profiler and trace across a resume
+# ----------------------------------------------------------------------
+def interrupt_instrumented(config, at, directory):
+    """Like :func:`interrupt`, but with the world's own instruments
+    (profiler/observability) active during the slice — faithful to a real
+    kill, which lands inside the instrumented ``finish_world`` loop."""
+    from repro.sim.experiment import _instruments
+
+    world = build_world(config)
+    with _instruments(world.profiler, world.obs):
+        world.sim.run(until=at)
+    return write_checkpoint(world, config_key(config), directory)
+
+
+def test_profiler_counts_survive_resume(tmp_path):
+    """Regression: the profiler rides in the world, so a resumed run's
+    phase *counts* match an uninterrupted run exactly (seconds are host
+    wall-clock and excluded).  The wire cache is a process-global memo —
+    its hit/miss split depends on what ran earlier in this process — so
+    it is disabled for the comparison, as in the determinism suite."""
+    from repro.core.config import ProtocolConfig
+    from repro.core.node import NodeStackConfig
+
+    config = replace(base_config(seed=9), profile=True,
+                     stack=NodeStackConfig(
+                         protocol=ProtocolConfig(wire_cache=False)))
+    baseline = run_experiment(config).profile
+    assert baseline, "profiled run must produce a profile"
+
+    ck = replace(config, checkpoint=CheckpointConfig(
+        every=1.0, directory=str(tmp_path)))
+    interrupt_instrumented(ck, 5.0, str(tmp_path))
+    resumed = run_experiment(ck).profile
+    assert {phase: stats["count"] for phase, stats in resumed.items()} == \
+        {phase: stats["count"] for phase, stats in baseline.items()}
+
+
+def test_observed_trace_survives_resume_byte_identical(tmp_path):
+    """The observability payload — span stream, metric series, counters,
+    meta — of a resumed run is byte-identical to an uninterrupted run's
+    (span ids come from occurrence counters that checkpoint with the
+    world, not from anything wall-clock)."""
+    from repro.obs import ObsConfig
+
+    config = replace(base_config(seed=13), observe=ObsConfig())
+    baseline = run_experiment(config)
+    assert baseline.trace is not None
+
+    ck = replace(config, checkpoint=CheckpointConfig(
+        every=1.0, directory=str(tmp_path)))
+    interrupt_instrumented(ck, 6.0, str(tmp_path))
+    resumed = run_experiment(ck)
+    assert json.dumps(resumed.trace, sort_keys=True) == \
+        json.dumps(baseline.trace, sort_keys=True)
+    # And the full campaign record (metrics block included) matches.
+    assert canonical(ck, resumed) == canonical(config, baseline)
+
+
+def test_observe_setting_does_not_change_config_key(tmp_path):
+    from repro.obs import ObsConfig
+
+    config = base_config()
+    assert config_key(replace(config, observe=ObsConfig())) == \
+        config_key(config)
+
+
+# ----------------------------------------------------------------------
 # Real kill: SIGTERM a campaign worker, resume, compare
 # ----------------------------------------------------------------------
 def _kill_config():

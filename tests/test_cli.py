@@ -130,3 +130,106 @@ class TestChaosOptions:
             "--warmup", "5", "--drain", "8", "--interval", "1.0"])
         assert code == 0
         assert "invariant violations" not in output
+
+
+@pytest.mark.obs
+class TestObservabilityOptions:
+    RUN = ["run", "--n", "10", "--messages", "2", "--seed", "3",
+           "--warmup", "5", "--drain", "8", "--interval", "1.0"]
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        """One observed CLI run shared by the trace-command tests."""
+        directory = tmp_path_factory.mktemp("cli-trace")
+        trace = str(directory / "trace.jsonl")
+        csv = str(directory / "series.csv")
+        code, output = run_cli(self.RUN + ["--trace-out", trace,
+                                           "--metrics-out", csv])
+        assert code == 0
+        return trace, csv, output
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.observe is False
+        assert args.trace_out is None
+        assert args.metrics_out is None
+
+    def test_observe_flag_prints_summary(self):
+        code, output = run_cli(self.RUN + ["--observe"])
+        assert code == 0
+        assert "observability:" in output
+        assert "spans" in output and "metric" in output
+        assert "top phases:" in output
+
+    def test_trace_out_implies_observe_and_writes_files(self, traced_run):
+        trace, csv, output = traced_run
+        assert "observability:" in output
+        assert f"-> {trace}" in output
+        assert f"-> {csv}" in output
+        with open(csv) as handle:
+            header = handle.readline()
+        assert header.startswith("time,")
+        assert "queue_depth_total" in header
+
+    def test_trace_path_reconstructs_hops(self, traced_run):
+        trace, _, _ = traced_run
+        code, output = run_cli(["trace", "path", "0:1", trace])
+        assert code == 0
+        assert "originated by node 0" in output
+        assert "deliver -> node" in output
+        assert "outcomes:" in output
+        assert "delivered=" in output
+
+    def test_trace_path_causal_chain_option(self, traced_run):
+        trace, _, _ = traced_run
+        code, output = run_cli(["trace", "path", "0:1", trace,
+                                "--node", "5"])
+        assert code == 0
+        assert "causal chain to node 5:" in output
+        assert "origin" in output
+
+    def test_trace_path_unknown_message(self, traced_run):
+        trace, _, _ = traced_run
+        code, output = run_cli(["trace", "path", "9:9", trace])
+        assert code == 0
+        assert "no origin span" in output
+
+    def test_trace_latency_uses_meta_bound(self, traced_run):
+        trace, _, _ = traced_run
+        code, output = run_cli(["trace", "latency", trace])
+        assert code == 0
+        assert "deliveries of" in output
+        assert "§3.5 bound" in output
+        assert "0 violations" in output
+
+    def test_trace_latency_tight_bound_flags_violations(self, traced_run):
+        trace, _, _ = traced_run
+        code, output = run_cli(["trace", "latency", trace,
+                                "--bound", "0.000001"])
+        assert code == 0
+        assert "0 violations" not in output
+        assert "-> node" in output    # violation rows carry span pointers
+
+    def test_trace_timeline(self, traced_run):
+        trace, _, _ = traced_run
+        code, output = run_cli(["trace", "timeline", trace])
+        assert code == 0
+        assert "node 0" in output and "spans" in output
+
+    def test_trace_export_and_validate(self, traced_run, tmp_path):
+        trace, _, _ = traced_run
+        chrome = str(tmp_path / "chrome.json")
+        code, output = run_cli(["trace", "export", trace,
+                                "--chrome", chrome])
+        assert code == 0
+        assert f"-> {chrome}" in output
+        code, output = run_cli(["trace", "validate", chrome])
+        assert code == 0
+        assert "valid trace_event document" in output
+
+    def test_trace_validate_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
+        code, output = run_cli(["trace", "validate", str(bad)])
+        assert code == 1
+        assert "invalid ph" in output

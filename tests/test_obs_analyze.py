@@ -1,0 +1,208 @@
+"""Analyzer tests: causal paths, latency bounds, timelines.
+
+Two layers: hand-built synthetic traces pin the reconstruction rules
+down exactly, then a real E13-style experiment (the paper's mute-onset
+scenario) proves the acceptance claim — ``trace_path`` reconstructs the
+full causal hop chain for a *delivered* message AND the evidence trail
+(behavior-suppressed send, purge) for an *undelivered* one.
+"""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultSchedule, OracleConfig
+from repro.core.config import ProtocolConfig
+from repro.core.node import NodeStackConfig
+from repro.obs import (
+    ObsConfig,
+    causal_chain,
+    latency_report,
+    message_ids,
+    parse_msg,
+    timeline,
+    trace_path,
+)
+from repro.sim.experiment import ExperimentConfig, run_experiment
+from repro.workloads.scenarios import ScenarioConfig
+from repro.workloads.sources import BroadcastEvent
+
+pytestmark = pytest.mark.obs
+
+
+def span(seq, time, phase, node, msg=None, **detail):
+    out = {"seq": seq, "span": f"{msg or '-'}/{node}/{seq}", "time": time,
+           "phase": phase, "node": node, "msg": msg, "duration": 0.0}
+    out.update(detail)
+    return out
+
+
+#: origin 0 → deliver 1 (from 0) → deliver 2 (from 1); node 3 only heard
+#: gossip and requested; node 4 suppressed a duplicate; purge at node 0.
+SYNTHETIC = [
+    span(1, 0.0, "origin", 0, "0:1"),
+    span(2, 0.0, "sign", 0, "0:1"),
+    span(3, 0.2, "deliver", 1, "0:1", sender=0),
+    span(4, 0.5, "deliver", 2, "0:1", sender=1),
+    span(5, 0.6, "request", 3, "0:1"),
+    span(6, 0.7, "suppress", 4, "0:1", reason="duplicate"),
+    span(7, 9.0, "purge", 0, "0:1", reason="timeout"),
+]
+
+
+class TestParse:
+    def test_parse_msg(self):
+        assert parse_msg("3:12") == "3:12"
+        with pytest.raises(ValueError):
+            parse_msg("nonsense")
+        with pytest.raises(ValueError):
+            parse_msg("1:2:3")
+
+    def test_message_ids_sort_numerically(self):
+        spans = [span(1, 0.0, "origin", 0, "10:2"),
+                 span(2, 0.0, "origin", 0, "2:1"),
+                 span(3, 0.0, "tx", 0)]
+        assert message_ids(spans) == ["2:1", "10:2"]
+
+
+class TestTracePath:
+    def test_hop_chain_with_depths(self):
+        path = trace_path(SYNTHETIC, "0:1")
+        assert path["origin"]["node"] == 0
+        assert [(h["node"], h["sender"], h["depth"])
+                for h in path["deliveries"]] == [(1, 0, 1), (2, 1, 2)]
+        assert all(h["span"] for h in path["deliveries"])
+
+    def test_per_node_outcomes(self):
+        nodes = trace_path(SYNTHETIC, "0:1")["nodes"]
+        assert nodes[0]["outcome"] == "origin"
+        assert nodes[1]["outcome"] == "delivered"
+        assert nodes[2]["outcome"] == "delivered"
+        assert nodes[3]["outcome"] == "requested"
+        assert nodes[4]["outcome"] == "suppressed"
+        assert nodes[4]["reason"] == "duplicate"
+        assert nodes[0]["purged_at"] == 9.0
+
+    def test_purges_and_events_ordered(self):
+        path = trace_path(SYNTHETIC, "0:1")
+        assert [p["node"] for p in path["purges"]] == [0]
+        times = [e["time"] for e in path["events"]]
+        assert times == sorted(times)
+
+    def test_unknown_message_is_empty_story(self):
+        path = trace_path(SYNTHETIC, "9:9")
+        assert path["origin"] is None
+        assert path["deliveries"] == []
+        assert path["nodes"] == {}
+
+
+class TestCausalChain:
+    def test_walks_back_to_origin(self):
+        chain = causal_chain(SYNTHETIC, "0:1", 2)
+        nodes_in_order = [s["node"] for s in chain]
+        # Origin spans first, then hop 1, then hop 2.
+        assert nodes_in_order == [0, 0, 0, 1, 2]
+        assert chain[0]["phase"] == "origin"
+        assert chain[-1]["phase"] == "deliver"
+
+    def test_never_delivered_node_gets_own_evidence(self):
+        chain = causal_chain(SYNTHETIC, "0:1", 3)
+        assert [s["phase"] for s in chain] == ["request"]
+
+
+class TestLatencyReport:
+    def test_stats_and_buckets(self):
+        report = latency_report(SYNTHETIC)
+        assert report["count"] == 2
+        assert report["messages"] == 1
+        assert report["min"] == pytest.approx(0.2)
+        assert report["max"] == pytest.approx(0.5)
+        assert report["mean"] == pytest.approx(0.35)
+        assert sum(count for _, count in report["buckets"]) == 2
+        assert report["violations"] == []
+
+    def test_bound_violations_carry_span_pointer(self):
+        report = latency_report(SYNTHETIC, bound=0.3)
+        assert report["bound"] == 0.3
+        (violation,) = report["violations"]
+        assert violation["node"] == 2
+        assert violation["latency"] == pytest.approx(0.5)
+        assert violation["span"] == "0:1/2/4"
+
+
+class TestTimeline:
+    def test_summary_per_node(self):
+        nodes = timeline(SYNTHETIC)["nodes"]
+        assert nodes[0]["count"] == 3
+        assert nodes[0]["phases"] == {"origin": 1, "sign": 1, "purge": 1}
+        assert nodes[0]["first"] == 0.0 and nodes[0]["last"] == 9.0
+
+    def test_node_filter_returns_ordered_events(self):
+        result = timeline(SYNTHETIC, node=0)
+        assert [e["phase"] for e in result["events"]] == \
+            ["origin", "sign", "purge"]
+
+
+# ----------------------------------------------------------------------
+# E13-style integration: a source that goes mute mid-run.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def mute_trace():
+    """One broadcast before the source is muted, one after.
+
+    The second broadcast is originated and signed but its send is
+    suppressed by the mute behavior, so it is never transmitted and its
+    buffer entry can only leave via the purge timeout.
+    """
+    config = ExperimentConfig(
+        scenario=ScenarioConfig(n=8, seed=5),
+        stack=NodeStackConfig(protocol=ProtocolConfig(purge_timeout=4.0)),
+        warmup=4.0,
+        workload=[BroadcastEvent(time=0.5, source=0),
+                  BroadcastEvent(time=3.0, source=0)],
+        chaos=FaultSchedule(events=(
+            FaultEvent(time=1.5, node=0, action="mute"),)),
+        oracle=OracleConfig(),
+        drain=10.0,
+        observe=ObsConfig(),
+    )
+    result = run_experiment(config)
+    assert result.trace is not None
+    assert result.invariant_violations == 0
+    return result.trace["spans"]
+
+
+class TestMuteScenario:
+    def test_delivered_message_has_full_hop_chain(self, mute_trace):
+        path = trace_path(mute_trace, "0:1")
+        assert path["origin"] is not None and path["origin"]["node"] == 0
+        # The pre-mute broadcast reaches every other node.
+        delivered = {h["node"] for h in path["deliveries"]}
+        assert delivered == set(range(1, 8))
+        assert all(h["depth"] >= 1 and h["span"] for h in path["deliveries"])
+        # Every hop's causal chain walks back to the origin span.
+        farthest = max(path["deliveries"], key=lambda h: h["depth"])
+        chain = causal_chain(mute_trace, "0:1", farthest["node"])
+        assert chain[0]["phase"] == "origin" and chain[0]["node"] == 0
+        assert chain[-1]["node"] == farthest["node"]
+
+    def test_undelivered_message_story_ends_in_purge(self, mute_trace):
+        path = trace_path(mute_trace, "0:2")
+        # Originated and signed at the (now mute) source...
+        assert path["origin"] is not None and path["origin"]["node"] == 0
+        phases = [e["phase"] for e in path["events"] if e["node"] == 0]
+        assert "sign" in phases
+        # ...but the send was behavior-suppressed: nobody delivered.
+        suppressions = [e for e in path["events"]
+                        if e["phase"] == "suppress" and e["node"] == 0]
+        assert any(e.get("reason") == "behavior" for e in suppressions)
+        assert path["deliveries"] == []
+        # The buffer entry could only leave via the purge timeout.
+        assert any(p["node"] == 0 and p.get("reason") == "timeout"
+                   for p in path["purges"])
+        assert path["nodes"][0].get("purged_at") is not None
+
+    def test_latency_report_only_counts_the_delivered_message(
+            self, mute_trace):
+        report = latency_report(mute_trace, bound=60.0)
+        assert report["messages"] == 2      # both have origin spans
+        assert report["count"] == 7         # only 0:1 produced deliveries
+        assert {row["msg"] for row in report["violations"]} == set()

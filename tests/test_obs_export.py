@@ -1,0 +1,161 @@
+"""Exporter tests: JSONL roundtrip, CSV series, Chrome trace_event.
+
+The exporters are the determinism boundary — byte-identity claims in the
+determinism matrix compare their output — so these tests pin the formats
+down: stable key order, seq-recoverable ordering, and a Chrome document
+that passes the self-contained validator (plus negative cases proving the
+validator actually rejects malformed documents).
+"""
+
+import json
+
+import pytest
+
+from repro.des.kernel import Simulator
+from repro.obs import (
+    ObsConfig,
+    ObsContext,
+    chrome_trace,
+    load_trace,
+    series_to_csv,
+    validate_chrome,
+    write_chrome,
+    write_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def sample_context():
+    """A small hand-driven context with a tx (duration) span, ties, and a
+    message-less span."""
+    sim = Simulator()
+    ctx = ObsContext(ObsConfig(), sim=sim)
+    ctx.meta.update({"n": 3, "seed": 7})
+    ctx.span("origin", 0, msg=(0, 1))
+    ctx.span("sign", 0, msg=(0, 1))          # same instant: seq breaks tie
+    sim.schedule(0.5, lambda: ctx.span("tx", 0, msg=(0, 1), duration=0.004))
+    sim.schedule(0.504, lambda: ctx.span("rx", 1, msg=(0, 1), sender=0))
+    sim.schedule(0.51, lambda: ctx.span("deliver", 1, msg=(0, 1), sender=0))
+    sim.schedule(1.0, lambda: ctx.span("backoff", 2, duration=0.002))
+    sim.run()
+    ctx.registry.record_sample(0.0, {"queue_depth_total": 1.0})
+    ctx.registry.record_sample(0.5, {"queue_depth_total": 0.0,
+                                     "deliveries_total": 1.0})
+    return ctx
+
+
+class TestJsonl:
+    def test_roundtrip_preserves_spans_and_meta(self, tmp_path):
+        ctx = sample_context()
+        path = str(tmp_path / "trace.jsonl")
+        written = write_trace(ctx.export_payload(), path)
+        assert written == len(ctx.spans)
+        meta, spans = load_trace(path)
+        assert meta["meta"] == {"n": 3, "seed": 7}
+        assert meta["span_count"] == len(ctx.spans)
+        assert meta["counters"]["spans.origin"] == 1
+        assert spans == ctx.span_dicts()
+
+    def test_load_reorders_by_seq(self, tmp_path):
+        ctx = sample_context()
+        path = str(tmp_path / "trace.jsonl")
+        payload = ctx.export_payload()
+        payload["spans"] = list(reversed(payload["spans"]))
+        write_trace(payload, path)
+        _, spans = load_trace(path)
+        assert [s["seq"] for s in spans] == sorted(s["seq"] for s in spans)
+        assert spans == ctx.span_dicts()
+
+    def test_same_context_writes_identical_bytes(self, tmp_path):
+        paths = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = str(tmp_path / name)
+            write_trace(sample_context().export_payload(), path)
+            paths.append(path)
+        with open(paths[0], "rb") as a, open(paths[1], "rb") as b:
+            assert a.read() == b.read()
+
+    def test_spans_suppressed_by_config(self, tmp_path):
+        sim = Simulator()
+        ctx = ObsContext(ObsConfig(spans_in_result=False), sim=sim)
+        ctx.span("origin", 0, msg=(0, 1))
+        payload = ctx.export_payload()
+        assert "spans" not in payload
+        assert payload["span_count"] == 1
+        path = str(tmp_path / "trace.jsonl")
+        assert write_trace(payload, path) == 0
+        meta, spans = load_trace(path)
+        assert meta["span_count"] == 1 and spans == []
+
+
+class TestCsv:
+    def test_series_csv_layout(self, tmp_path):
+        ctx = sample_context()
+        path = str(tmp_path / "series.csv")
+        rows = series_to_csv(ctx.registry.series_dict(), path)
+        assert rows == 2
+        lines = (tmp_path / "series.csv").read_text().splitlines()
+        assert lines[0] == "time,deliveries_total,queue_depth_total"
+        assert lines[1] == "0.0,0.0,1.0"
+        assert lines[2] == "0.5,1.0,0.0"
+
+    def test_empty_series(self, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        assert series_to_csv({}, path) == 0
+        assert (tmp_path / "empty.csv").read_text() == "time\n"
+
+
+class TestChrome:
+    def test_document_is_valid_and_complete(self):
+        ctx = sample_context()
+        doc = chrome_trace(ctx.span_dicts(), ctx.export_payload())
+        assert validate_chrome(doc) == []
+        events = doc["traceEvents"]
+        # Process + one thread-name/sort pair per node.
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in metadata} == {
+            "process_name", "thread_name", "thread_sort_index"}
+        assert any(e["args"]["name"] == "repro n=3 seed=7"
+                   for e in metadata if e["name"] == "process_name")
+        # tx/backoff spans become duration events, µs scale.
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"].split()[0] for e in complete} == {"tx", "backoff"}
+        tx = next(e for e in complete if e["name"].startswith("tx"))
+        assert tx["ts"] == pytest.approx(0.5e6)
+        assert tx["dur"] == pytest.approx(4000.0)
+        # Everything else is an instant with thread scope.
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants and all(e["s"] == "t" for e in instants)
+        deliver = next(e for e in instants if e["name"].startswith("deliver"))
+        assert deliver["tid"] == 1
+        assert deliver["args"]["sender"] == 0
+        assert deliver["args"]["msg"] == "0:1"
+
+    def test_write_chrome_roundtrips_through_validator(self, tmp_path):
+        ctx = sample_context()
+        path = str(tmp_path / "chrome.json")
+        count = write_chrome(ctx.span_dicts(), path, ctx.export_payload())
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert len(doc["traceEvents"]) == count
+        assert validate_chrome(path) == []
+
+    def test_validator_rejects_malformed_documents(self, tmp_path):
+        assert validate_chrome([]) == ["top level must be a JSON object"]
+        assert validate_chrome({}) == ["missing traceEvents array"]
+        bad_events = {"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 0, "tid": 0, "ts": 1},
+            {"ph": "i", "pid": 0, "tid": 0, "ts": 1, "s": "q"},
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 1},
+            {"ph": "i", "name": "x", "pid": "zero", "tid": 0, "ts": 1},
+            {"ph": "i", "name": "x", "pid": 0, "tid": 0},
+        ]}
+        problems = validate_chrome(bad_events)
+        assert any("invalid ph" in p for p in problems)
+        assert any("invalid instant scope" in p for p in problems)
+        assert any("needs dur" in p for p in problems)
+        assert any("integer pid" in p for p in problems)
+        assert any("numeric ts" in p for p in problems)
+        missing = tmp_path / "nope.json"
+        assert validate_chrome(str(missing))[0].startswith("unreadable")

@@ -118,3 +118,96 @@ class TestExport:
         assert len(lines) == count == len(recorder.events)
         parsed = json.loads(lines[0])
         assert {"time", "category", "node"} <= set(parsed)
+
+    def test_seq_keeps_same_microsecond_events_distinct(self, tmp_path):
+        # Regression: ``to_dict`` rounds ``time`` to 6 digits, so events
+        # closer together than a microsecond used to export as
+        # indistinguishable rows.  The monotonic ``seq`` keeps the order
+        # total and re-importable.
+        from repro.des.kernel import Simulator
+
+        sim = Simulator()
+        recorder = TraceRecorder(sim)
+        for offset in (1.0000001, 1.0000002, 1.0000004):
+            sim.schedule_at(offset, recorder.record, "tx", 0)
+        sim.run()
+        dicts = [event.to_dict() for event in recorder.events]
+        assert {d["time"] for d in dicts} == {1.0}   # rounding collapsed
+        assert [d["seq"] for d in dicts] == [1, 2, 3]
+        assert len({json.dumps(d) for d in dicts}) == 3
+        path = tmp_path / "ties.jsonl"
+        recorder.to_jsonl(str(path))
+        reloaded = [json.loads(line)
+                    for line in path.read_text().splitlines()]
+        assert sorted(reloaded, key=lambda d: d["seq"]) == dicts
+
+    def test_seq_resets_with_clear(self):
+        from repro.des.kernel import Simulator
+
+        sim = Simulator()
+        recorder = TraceRecorder(sim)
+        recorder.record("tx", 0)
+        recorder.clear()
+        recorder.record("tx", 0)
+        assert recorder.events[0].seq == 1
+
+
+class TestObservabilityCategories:
+    """Category filtering across the categories added for repro.obs
+    (``span``, ``metric``, ``checkpoint``)."""
+
+    def make_recorder(self, categories=None):
+        from repro.des.kernel import Simulator
+
+        sim = Simulator()
+        return sim, TraceRecorder(sim, categories=categories)
+
+    def test_new_categories_are_known(self):
+        assert {"span", "metric", "checkpoint"} <= \
+            set(TraceRecorder.ALL_CATEGORIES)
+
+    def test_span_only_filter(self):
+        _, recorder = self.make_recorder(categories=["span"])
+        recorder.record("span", 1, span="0:1/1/1", phase="rx")
+        recorder.record("metric", -1, queue_depth_total=2)
+        recorder.record_checkpoint("snap.ckpt")
+        assert recorder.counts() == {"span": 1}
+
+    def test_obs_fanin_respects_recorder_filter(self):
+        from repro.des.kernel import Simulator
+        from repro.obs import ObsConfig, ObsContext
+
+        sim = Simulator()
+        ctx = ObsContext(ObsConfig(), sim=sim)
+        recorder = TraceRecorder(sim, categories=["metric", "checkpoint"])
+        ctx.attach_recorder(recorder)
+        ctx.span("rx", 1, msg=(0, 1))           # filtered out
+        recorder.record("metric", -1, deliveries_total=1.0)
+        recorder.record_checkpoint("snap.ckpt", events_fired=42)
+        assert recorder.counts() == {"metric": 1, "checkpoint": 1}
+        # The context itself still kept the span: the recorder filter
+        # governs the merged stream only.
+        assert len(ctx.spans) == 1
+
+    def test_span_fanin_carries_identity_and_detail(self):
+        from repro.des.kernel import Simulator
+        from repro.obs import ObsConfig, ObsContext
+
+        sim = Simulator()
+        ctx = ObsContext(ObsConfig(), sim=sim)
+        recorder = TraceRecorder(sim, categories=["span"])
+        ctx.attach_recorder(recorder)
+        sid = ctx.span("deliver", 2, msg=(0, 1), sender=1)
+        (event,) = recorder.events
+        assert event.category == "span" and event.node == 2
+        assert event.details["span"] == sid
+        assert event.details["phase"] == "deliver"
+        assert event.details["msg"] == "0:1"
+        assert event.details["sender"] == 1
+
+    def test_checkpoint_events_are_run_level(self):
+        _, recorder = self.make_recorder(categories=["checkpoint"])
+        recorder.record_checkpoint("a.ckpt", events_fired=7)
+        (event,) = recorder.events
+        assert event.node == -1
+        assert event.details == {"path": "a.ckpt", "events_fired": 7}
