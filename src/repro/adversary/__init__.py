@@ -5,27 +5,33 @@ from .behaviors import (
     ForgingBehavior,
     GossipLiarBehavior,
     ImpersonationBehavior,
+    LimitedSendBehavior,
     MuteBehavior,
     PROTOCOL_KINDS,
     SelectiveDropBehavior,
 )
 from .policies import (
+    ATTACKER_KINDS,
     BEHAVIOR_KINDS,
     GossipFloodAttacker,
     RequestFloodAttacker,
+    make_attacker,
     make_behavior,
 )
 
 __all__ = [
+    "ATTACKER_KINDS",
     "BEHAVIOR_KINDS",
     "DeafBehavior",
     "ForgingBehavior",
     "GossipFloodAttacker",
     "GossipLiarBehavior",
     "ImpersonationBehavior",
+    "LimitedSendBehavior",
     "MuteBehavior",
     "PROTOCOL_KINDS",
     "RequestFloodAttacker",
     "SelectiveDropBehavior",
+    "make_attacker",
     "make_behavior",
 ]

@@ -26,6 +26,7 @@ __all__ = [
     "PROTOCOL_KINDS",
     "MuteBehavior",
     "SelectiveDropBehavior",
+    "LimitedSendBehavior",
     "ForgingBehavior",
     "ImpersonationBehavior",
     "GossipLiarBehavior",
@@ -70,6 +71,39 @@ class SelectiveDropBehavior(NodeBehavior):
     def filter_outgoing(self, kind: str, message: Any) -> Optional[Any]:
         if kind in self._drop_kinds and self._rng.chance(self._p):
             return None
+        return message
+
+
+class LimitedSendBehavior(NodeBehavior):
+    """Sends only the first ``limit`` protocol messages, then goes mute.
+
+    The *limited broadcast* adversary of Tseng–Vaidya's selective
+    broadcast model: a node with a send budget spends it looking correct
+    (long enough to be elected into the overlay, say) and then falls
+    silent.  Unlike :class:`SelectiveDropBehavior` the cutoff is a hard
+    deterministic budget, so the failure onset depends on traffic volume
+    rather than coin flips — a distinct timing profile for the failure
+    detectors and the schedule fuzzer to explore.
+    """
+
+    def __init__(self, limit: int = 10,
+                 drop_kinds: Iterable[str] = PROTOCOL_KINDS):
+        if limit < 0:
+            raise ValueError("limit must be non-negative")
+        self._limit = int(limit)
+        self._sent = 0
+        self._drop_kinds = frozenset(drop_kinds)
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self._limit - self._sent)
+
+    def filter_outgoing(self, kind: str, message: Any) -> Optional[Any]:
+        if kind not in self._drop_kinds:
+            return message
+        if self._sent >= self._limit:
+            return None
+        self._sent += 1
         return message
 
 

@@ -23,6 +23,7 @@ from .behaviors import (
     ForgingBehavior,
     GossipLiarBehavior,
     ImpersonationBehavior,
+    LimitedSendBehavior,
     MuteBehavior,
     SelectiveDropBehavior,
 )
@@ -121,8 +122,8 @@ class GossipFloodAttacker:
         self.packets_injected += 1
 
 
-BEHAVIOR_KINDS = ("correct", "mute", "selective_drop", "forging",
-                  "impersonation", "gossip_liar", "deaf")
+BEHAVIOR_KINDS = ("correct", "mute", "selective_drop", "limited_send",
+                  "forging", "impersonation", "gossip_liar", "deaf")
 
 ATTACKER_KINDS = ("request_flood", "gossip_flood")
 
@@ -158,6 +159,8 @@ def make_behavior(kind: str, rng: Optional[RandomStream] = None,
         if rng is None:
             raise ValueError("selective_drop requires an rng")
         return SelectiveDropBehavior(rng, **kwargs)
+    if kind == "limited_send":
+        return LimitedSendBehavior(**kwargs)
     if kind == "forging":
         if rng is None:
             raise ValueError("forging requires an rng")

@@ -31,7 +31,9 @@ Supported actions
 
 from __future__ import annotations
 
+import hashlib
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -57,6 +59,44 @@ _ALLOWED_PARAMS: Dict[str, frozenset] = {
 }
 
 
+def _canonical_param(value: Any) -> Any:
+    """Normalize one param value to its canonical in-memory form.
+
+    JSON cannot distinguish tuples from lists (both parse back as lists)
+    nor represent sets at all, so sequences canonicalize to tuples and
+    sets to sorted tuples — a :class:`FaultEvent` then compares equal to
+    its own JSON round trip regardless of which container the caller
+    used.  Unsupported types are rejected at construction time rather
+    than at serialization time, keeping every constructed event
+    corpus-ready.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"param values must be finite: {value!r}")
+        return value
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_canonical_param(v) for v in value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_param(v) for v in value)
+    if isinstance(value, Mapping):
+        return {str(k): _canonical_param(value[k]) for k in sorted(value)}
+    raise ValueError(
+        f"fault params must be JSON-representable, got {type(value).__name__}")
+
+
+def _jsonable_param(value: Any) -> Any:
+    """The JSON export form of a canonical param value (tuples → lists)."""
+    if isinstance(value, tuple):
+        return [_jsonable_param(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _jsonable_param(value[k]) for k in sorted(value)}
+    return value
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault: at ``time``, ``node`` suffers ``action``."""
@@ -67,6 +107,16 @@ class FaultEvent:
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # Coerce to the canonical types JSON parses back to, so an event
+        # equals its own round trip (time 1 vs 1.0, tuple vs list params).
+        object.__setattr__(self, "time", float(self.time))
+        object.__setattr__(self, "node", int(self.node))
+        object.__setattr__(
+            self, "params",
+            {str(k): _canonical_param(self.params[k])
+             for k in sorted(self.params)})
+        if not math.isfinite(self.time):
+            raise ValueError(f"fault time must be finite: {self.time}")
         if self.time < 0:
             raise ValueError(f"fault time must be non-negative: {self.time}")
         if self.node < 0:
@@ -88,7 +138,8 @@ class FaultEvent:
         out: Dict[str, Any] = {"time": self.time, "node": self.node,
                                "action": self.action}
         if self.params:
-            out["params"] = {k: self.params[k] for k in sorted(self.params)}
+            out["params"] = {k: _jsonable_param(self.params[k])
+                             for k in sorted(self.params)}
         return out
 
     @staticmethod
@@ -132,6 +183,39 @@ class FaultSchedule:
 
     def extended(self, *events: FaultEvent) -> "FaultSchedule":
         return FaultSchedule(events=self.events + tuple(events))
+
+    # ------------------------------------------------------------------
+    # Structural edits (the fuzzer's mutation/shrinking vocabulary)
+    # ------------------------------------------------------------------
+    def without(self, indices: Iterable[int]) -> "FaultSchedule":
+        """A copy omitting the events at the given positions."""
+        drop = set(indices)
+        return FaultSchedule(events=tuple(
+            event for index, event in enumerate(self.events)
+            if index not in drop))
+
+    def replacing(self, index: int, event: FaultEvent) -> "FaultSchedule":
+        """A copy with the event at ``index`` swapped for ``event``."""
+        events = list(self.events)
+        events[index] = event
+        return FaultSchedule(events=tuple(events))
+
+    def sorted_by_time(self) -> "FaultSchedule":
+        """A copy with events in canonical ``(time, node, action)`` order.
+
+        Same-instant events fire in list order, so this is a *candidate*
+        normalization (the shrinker only keeps it if the failure still
+        reproduces), not an identity.
+        """
+        return FaultSchedule(events=tuple(sorted(
+            self.events,
+            key=lambda e: (e.time, e.node, e.action, json.dumps(
+                e.to_dict(), sort_keys=True)))))
+
+    def digest(self) -> str:
+        """Stable content hash of the canonical JSON form (16 hex chars)
+        — the identity the fuzzer's dedup and the corpus filenames use."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:16]
 
     # ------------------------------------------------------------------
     # JSON round trip

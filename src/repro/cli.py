@@ -173,6 +173,62 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("experiments",
                    help="list the reconstructed paper experiments")
 
+    fuzz_p = sub.add_parser(
+        "fuzz", help="coverage-guided fault-schedule fuzzing")
+    fuzz_sub = fuzz_p.add_subparsers(dest="fuzz_command", required=True)
+
+    def add_target_args(p: argparse.ArgumentParser) -> None:
+        from .fuzz.fixtures import RUNNERS
+        p.add_argument("--n", type=int, default=10,
+                       help="world size of the fuzzed target (default 10)")
+        p.add_argument("--seed", type=int, default=3,
+                       help="world seed of the fuzzed target (default 3)")
+        p.add_argument("--protocol", choices=PROTOCOLS, default="byzcast")
+        p.add_argument("--runner", choices=tuple(sorted(RUNNERS)),
+                       default="experiment",
+                       help="experiment runner; broken_* are planted-bug "
+                            "fixtures for validating the loop itself")
+        p.add_argument("--delivery-threshold", type=float, default=0.75,
+                       help="delivery ratio below which a run counts as "
+                            "degraded (default 0.75)")
+
+    fr_p = fuzz_sub.add_parser(
+        "run", help="run a fuzzing campaign against one target")
+    add_target_args(fr_p)
+    fr_p.add_argument("--iterations", type=int, default=200,
+                      help="candidate evaluations (default 200)")
+    fr_p.add_argument("--batch", type=int, default=8,
+                      help="candidates per generation (default 8)")
+    fr_p.add_argument("--workers", type=_worker_count, default=1,
+                      help="worker processes (results identical to "
+                           "serial; default 1)")
+    fr_p.add_argument("--fuzz-seed", type=int, default=1,
+                      help="mutation-stream seed (default 1)")
+    fr_p.add_argument("--corpus", metavar="DIR", default=None,
+                      help="write shrunk reproducers into this "
+                           "content-addressed corpus directory")
+    fr_p.add_argument("--max-events", type=int, default=12,
+                      help="schedule size cap (default 12)")
+    fr_p.add_argument("--stop-after-failures", type=int, default=None,
+                      metavar="K",
+                      help="stop once K distinct failure signatures are "
+                           "found (default: spend the whole budget)")
+    fr_p.add_argument("--report", metavar="FILE.json", default=None,
+                      help="write the canonical campaign report as JSON")
+
+    sh_p = fuzz_sub.add_parser(
+        "shrink", help="re-shrink a corpus entry to a minimal reproducer")
+    sh_p.add_argument("entry", help="corpus entry JSON file")
+    sh_p.add_argument("--budget", type=int, default=200,
+                      help="predicate-execution cap (default 200)")
+    sh_p.add_argument("--out", metavar="DIR", default=None,
+                      help="write the re-shrunk entry into this corpus "
+                           "directory (default: print only)")
+
+    rp_p = fuzz_sub.add_parser(
+        "replay", help="replay corpus reproducers and verify signatures")
+    rp_p.add_argument("corpus", help="corpus directory or entry file")
+
     trace_p = sub.add_parser(
         "trace", help="analyze an exported span trace (see --trace-out)")
     trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
@@ -309,6 +365,101 @@ def _print_report(result, out, *, oracle: bool = False) -> None:
                   file=out)
 
 
+def _fuzz_main(args: argparse.Namespace, out) -> int:
+    """The ``repro fuzz`` subcommand family (schedule fuzzing)."""
+    import json as _json
+    import os as _os
+
+    from .fuzz import (FuzzConfig, TargetSpec, fuzz, load_corpus,
+                       load_entry, replay, shrink_events, write_entry)
+    from .fuzz.corpus import CorpusEntry
+
+    if args.fuzz_command == "run":
+        target = TargetSpec(
+            n=args.n, seed=args.seed, protocol=args.protocol,
+            runner=args.runner,
+            delivery_threshold=args.delivery_threshold)
+        config = FuzzConfig(
+            target=target, iterations=args.iterations, batch=args.batch,
+            workers=args.workers, fuzz_seed=args.fuzz_seed,
+            corpus_dir=args.corpus, max_events=args.max_events,
+            stop_after_failures=args.stop_after_failures)
+        report = fuzz(config,
+                      progress=lambda line: print(line, file=out))
+        print(f"evaluated {report.evaluated} candidates, "
+              f"{report.coverage['keys']} coverage keys, "
+              f"{len(report.failures)} distinct failure signatures",
+              file=out)
+        for failure in report.failures:
+            where = failure.get("path", failure["digest"])
+            print(f"  {'/'.join(failure['signature'])}: "
+                  f"{failure['events']} events, found at iteration "
+                  f"{failure['found_iteration']} -> {where}", file=out)
+        if args.report:
+            with open(args.report, "w") as handle:
+                _json.dump(report.to_dict(), handle, sort_keys=True,
+                           indent=1)
+            print(f"report -> {args.report}", file=out)
+        return 0
+
+    if args.fuzz_command == "shrink":
+        entry = load_entry(args.entry)
+        target = entry.target
+
+        def predicate(schedule):
+            result = target.run(schedule)
+            return set(entry.signature) <= set(target.signature_of(result))
+
+        shrunk = shrink_events(entry.schedule, predicate,
+                               budget=args.budget)
+        print(f"{len(entry.schedule.events)} -> "
+              f"{len(shrunk.schedule.events)} events "
+              f"({shrunk.tests} tests)", file=out)
+        for event in shrunk.schedule.events:
+            print(f"  t={event.time:<8} node={event.node:<4} "
+                  f"{event.action} {dict(event.params)}", file=out)
+        if not shrunk.accepted:
+            print("entry does not reproduce its signature; left as-is",
+                  file=out)
+            return 1
+        if args.out:
+            slim = CorpusEntry(
+                target=target, schedule=shrunk.schedule,
+                signature=entry.signature,
+                found_iteration=entry.found_iteration,
+                stats={**dict(entry.stats),
+                       "shrunk_events": len(shrunk.schedule.events),
+                       "shrink_tests": shrunk.tests})
+            print(f"-> {write_entry(slim, args.out)}", file=out)
+        return 0
+
+    if args.fuzz_command == "replay":
+        if _os.path.isdir(args.corpus):
+            entries = load_corpus(args.corpus)
+        elif _os.path.isfile(args.corpus):
+            entries = [(args.corpus, load_entry(args.corpus))]
+        else:
+            entries = []
+        if not entries:
+            print(f"no corpus entries under {args.corpus}", file=out)
+            return 1
+        failures = 0
+        for path, entry in entries:
+            verdict = replay(entry)
+            status = "ok" if verdict["reproduced"] else "LOST"
+            if not verdict["reproduced"]:
+                failures += 1
+            print(f"{status:<5} {_os.path.basename(path):<22} "
+                  f"{'/'.join(entry.signature):<45} "
+                  f"delivery={verdict['delivery_ratio']:.3f} "
+                  f"violations={verdict['violations']}", file=out)
+        print(f"{len(entries) - failures}/{len(entries)} reproduced",
+              file=out)
+        return 0 if failures == 0 else 1
+
+    raise AssertionError(f"unhandled fuzz command {args.fuzz_command!r}")
+
+
 def _trace_main(args: argparse.Namespace, out) -> int:
     """The ``repro trace`` subcommand family (span-trace analysis)."""
     if args.trace_command == "validate":
@@ -422,6 +573,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
 
     if args.command == "trace":
         return _trace_main(args, out)
+
+    if args.command == "fuzz":
+        return _fuzz_main(args, out)
 
     if args.command == "run":
         config = _config_from(args, args.protocol, _scenario_from(args))

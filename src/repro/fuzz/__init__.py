@@ -1,0 +1,43 @@
+"""Coverage-guided adversarial schedule fuzzing (``repro.fuzz``).
+
+The enumerated chaos scenarios of :mod:`repro.chaos` check the faults we
+thought of; this package searches for the ones we didn't.  A
+:class:`Fuzzer` mutates :class:`~repro.chaos.FaultSchedule` candidates
+(including Byzantine behaviour and active-attacker parameters), runs
+each through the full experiment stack with the invariant oracle and
+observability on, and keeps candidates that reach *novel* behaviour —
+fresh phase/metric coverage buckets (:mod:`repro.obs.coverage`), fresh
+delivery-degradation bins, or fresh invariant violations.  Violating
+schedules are delta-debugged down to minimal reproducers
+(:mod:`repro.fuzz.shrink`) and written to a content-addressed corpus
+(:mod:`repro.fuzz.corpus`) that the test suite replays as regressions.
+
+Entry points: the :class:`Fuzzer`/:func:`fuzz` API, the ``repro fuzz
+run|shrink|replay`` CLI, and the committed ``corpus/`` directory.
+"""
+
+from .corpus import (CorpusEntry, TargetSpec, failure_signature,
+                     load_corpus, load_entry, replay, write_entry)
+from .engine import FuzzConfig, Fuzzer, FuzzReport, fuzz
+from .fixtures import RUNNERS, runner
+from .mutate import ScheduleMutator
+from .shrink import ShrinkResult, shrink_events
+
+__all__ = [
+    "CorpusEntry",
+    "FuzzConfig",
+    "FuzzReport",
+    "Fuzzer",
+    "RUNNERS",
+    "ScheduleMutator",
+    "ShrinkResult",
+    "TargetSpec",
+    "failure_signature",
+    "fuzz",
+    "load_corpus",
+    "load_entry",
+    "replay",
+    "runner",
+    "shrink_events",
+    "write_entry",
+]

@@ -1,0 +1,186 @@
+"""Schedule mutation operators.
+
+A :class:`ScheduleMutator` turns one fault schedule into a nearby one:
+add an event, add a *paired window* (crash→restart, deaf→hear,
+mute→recover, behavior→recover, attacker start→stop), drop, retime,
+retarget, re-parameterize, or splice in events from another pool member.
+Every operator draws from one dedicated :class:`repro.des.RandomStream`,
+so a mutation sequence is a pure function of the fuzz seed — the whole
+campaign's determinism bottoms out here.
+
+Operators only emit valid schedules: node ids stay below ``n`` (the
+:class:`~repro.chaos.ChaosController` rejects out-of-range targets),
+times are quantized to ``quantum`` within ``[0, horizon)`` (a continuous
+time axis would make every candidate trivially unique and drown the
+digest-level dedup), and params come from the closed vocabularies in
+:mod:`repro.adversary`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..adversary import ATTACKER_KINDS, BEHAVIOR_KINDS
+from ..chaos.schedule import FaultEvent, FaultSchedule
+from ..des.random import RandomStream
+
+__all__ = ["ScheduleMutator"]
+
+#: Single-shot actions the mutator may add on their own.  ``recover`` /
+#: ``hear`` / ``restart`` / ``attacker_stop`` only enter via windows —
+#: alone they are no-ops that waste the mutation budget.
+_SOLO_ACTIONS = ("mute", "crash", "deaf", "behavior", "tx_power",
+                 "attacker_start")
+
+#: (opening action, closing action) pairs for window mutations.
+_WINDOWS = (("crash", "restart"), ("deaf", "hear"), ("mute", "recover"),
+            ("behavior", "recover"), ("attacker_start", "attacker_stop"))
+
+#: Behaviour kinds a fuzzed ``behavior`` event may select ("correct" is
+#: excluded — that's what ``recover`` is for).
+_FUZZ_BEHAVIORS = tuple(kind for kind in BEHAVIOR_KINDS
+                        if kind != "correct")
+
+
+class ScheduleMutator:
+    """Deterministic mutation of fault schedules for one target world."""
+
+    def __init__(self, n: int, horizon: float, rng: RandomStream, *,
+                 max_events: int = 12, quantum: float = 0.1):
+        if n < 1:
+            raise ValueError("need at least one node")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self._n = n
+        self._horizon = horizon
+        self._rng = rng
+        self._max_events = max_events
+        self._quantum = quantum
+
+    # ------------------------------------------------------------------
+    def _time(self) -> float:
+        ticks = int(self._horizon / self._quantum)
+        return round(self._rng.randint(0, max(ticks - 1, 0))
+                     * self._quantum, 6)
+
+    def _node(self) -> int:
+        return self._rng.randint(0, self._n - 1)
+
+    def _params(self, action: str) -> dict:
+        if action == "behavior":
+            kind = self._rng.choice(_FUZZ_BEHAVIORS)
+            params = {"kind": kind}
+            if kind == "selective_drop":
+                params["drop_probability"] = round(
+                    self._rng.uniform(0.3, 1.0), 2)
+            elif kind == "limited_send":
+                params["limit"] = self._rng.randint(0, 8)
+            elif kind == "impersonation":
+                params["victim_id"] = self._node()
+            return params
+        if action == "tx_power":
+            return {"factor": round(self._rng.uniform(0.2, 1.0), 2)}
+        if action == "attacker_start":
+            return {"kind": self._rng.choice(ATTACKER_KINDS),
+                    "rate_hz": float(self._rng.randint(1, 20))}
+        if action == "restart":
+            return {"reset_state": self._rng.chance(0.8)}
+        return {}
+
+    def _event(self, action: Optional[str] = None) -> FaultEvent:
+        if action is None:
+            action = self._rng.choice(_SOLO_ACTIONS)
+        return FaultEvent(time=self._time(), node=self._node(),
+                          action=action, params=self._params(action))
+
+    # -- operators ------------------------------------------------------
+    def _op_add(self, events: List[FaultEvent]) -> None:
+        if len(events) < self._max_events:
+            events.append(self._event())
+
+    def _op_window(self, events: List[FaultEvent]) -> None:
+        """Add an open/close pair on one node — the operator that makes
+        recovery-path bugs (crash *then* restart) reachable in one hop."""
+        if len(events) + 2 > self._max_events:
+            return
+        opening, closing = _WINDOWS[
+            self._rng.randint(0, len(_WINDOWS) - 1)]
+        node = self._node()
+        start = self._time()
+        width = max(self._quantum,
+                    round(self._rng.uniform(self._quantum,
+                                            self._horizon / 2), 6))
+        end = round(min(start + width, self._horizon), 6)
+        close_action = closing
+        close_params = (self._params("restart")
+                        if closing == "restart" else {})
+        events.append(FaultEvent(time=start, node=node, action=opening,
+                                 params=self._params(opening)))
+        events.append(FaultEvent(time=end, node=node, action=close_action,
+                                 params=close_params))
+
+    def _op_drop(self, events: List[FaultEvent]) -> None:
+        if events:
+            del events[self._rng.randint(0, len(events) - 1)]
+
+    def _op_retime(self, events: List[FaultEvent]) -> None:
+        if events:
+            index = self._rng.randint(0, len(events) - 1)
+            events[index] = FaultEvent(
+                time=self._time(), node=events[index].node,
+                action=events[index].action, params=events[index].params)
+
+    def _op_renode(self, events: List[FaultEvent]) -> None:
+        if events:
+            index = self._rng.randint(0, len(events) - 1)
+            events[index] = FaultEvent(
+                time=events[index].time, node=self._node(),
+                action=events[index].action, params=events[index].params)
+
+    def _op_replace(self, events: List[FaultEvent]) -> None:
+        if events:
+            events[self._rng.randint(0, len(events) - 1)] = self._event()
+
+    def _op_reparam(self, events: List[FaultEvent]) -> None:
+        if events:
+            index = self._rng.randint(0, len(events) - 1)
+            live = events[index]
+            events[index] = FaultEvent(time=live.time, node=live.node,
+                                       action=live.action,
+                                       params=self._params(live.action))
+
+    # ------------------------------------------------------------------
+    def seed(self) -> FaultSchedule:
+        """A fresh small schedule (used when the pool is empty)."""
+        events: List[FaultEvent] = []
+        if self._rng.chance(0.5):
+            self._op_window(events)
+        else:
+            self._op_add(events)
+        return FaultSchedule(events=tuple(events)).sorted_by_time()
+
+    def mutate(self, schedule: FaultSchedule,
+               donor: Optional[FaultSchedule] = None) -> FaultSchedule:
+        """One mutated neighbour of ``schedule`` (1–3 operators).
+
+        ``donor`` enables the splice operator: copying a random event
+        from another pool member, the crossover that propagates useful
+        fragments (e.g. a well-placed crash) between lineages.
+        """
+        events = list(schedule.events)
+        operators = [self._op_add, self._op_window, self._op_drop,
+                     self._op_retime, self._op_renode, self._op_replace,
+                     self._op_reparam]
+        if donor is not None and donor.events:
+            def splice(target: List[FaultEvent]) -> None:
+                if len(target) < self._max_events:
+                    target.append(donor.events[
+                        self._rng.randint(0, len(donor.events) - 1)])
+            operators.append(splice)
+        for _ in range(self._rng.randint(1, 3)):
+            operators[self._rng.randint(0, len(operators) - 1)](events)
+        if not events:
+            self._op_add(events)
+        return FaultSchedule(events=tuple(events)).sorted_by_time()

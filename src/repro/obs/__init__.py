@@ -21,6 +21,7 @@ from .analyze import (causal_chain, latency_report, message_ids, parse_msg,
                       timeline, trace_path)
 from .context import (PHASES, ObsConfig, ObsContext, Span, activate, active,
                       deactivate, msg_key, msg_of, session, span_id)
+from .coverage import CoverageMap, bucketize, trace_coverage
 
 # NOTE: the live ``ACTIVE`` global is deliberately NOT re-exported here —
 # a ``from .context import ACTIVE`` would snapshot it by value and never
@@ -46,8 +47,11 @@ __all__ = [
     "msg_key",
     "span_id",
     "Counter",
+    "CoverageMap",
     "Gauge",
     "Histogram",
+    "bucketize",
+    "trace_coverage",
     "MetricRegistry",
     "MetricSampler",
     "merge_payloads",

@@ -1,0 +1,107 @@
+"""Coverage extraction from observability payloads.
+
+The schedule fuzzer (:mod:`repro.fuzz`) needs a *behavioral fingerprint*
+of a run: did this candidate schedule drive the system somewhere no
+earlier candidate did?  Raw span streams are too fine-grained for that
+(every run differs somewhere), so coverage is defined over **bucketed
+phase/metric counters** — the ``spans.<phase>`` tallies and registry
+counters an observed run already produces — plus the delivery outcome
+and any invariant violations:
+
+``c:<counter>:<bucket>``
+    Counter ``<counter>`` ended the run in logarithmic bucket
+    ``<bucket>`` (0, 1, 2, 3–4, 5–8, 9–16, ...).  A schedule that turns
+    10 collisions into 40 is novel; one that turns 10 into 11 is not.
+
+``delivery:<5% bucket>``
+    Delivery ratio bucketed to 5% — the degradation axis.
+
+``violation:<invariant>``
+    The oracle flagged this invariant at least once.
+
+Everything here is pure data transformation — deterministic, no clocks,
+no randomness — so coverage maps merge identically across repeats and
+worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional
+
+__all__ = ["bucketize", "trace_coverage", "CoverageMap"]
+
+
+def bucketize(value: float) -> int:
+    """Logarithmic magnitude bucket of a non-negative count.
+
+    0 → 0, 1 → 1, 2 → 2, 3–4 → 3, 5–8 → 4, 9–16 → 5, ... — doubling
+    bucket widths, so coverage keys saturate instead of exploding on
+    high-traffic runs.
+    """
+    count = int(value)
+    if count <= 0:
+        return 0
+    return (count - 1).bit_length() + 1
+
+
+def trace_coverage(trace: Optional[Mapping[str, Any]],
+                   delivery_ratio: Optional[float] = None,
+                   violations: Iterable[str] = ()) -> FrozenSet[str]:
+    """The coverage-key set of one run.
+
+    ``trace`` is an ``ExperimentResult.trace`` payload (or ``None`` for
+    unobserved runs — counter keys are then simply absent);
+    ``violations`` is an iterable of violated invariant names.
+    """
+    keys = set()
+    if trace is not None:
+        for name, value in trace.get("counters", {}).items():
+            keys.add(f"c:{name}:{bucketize(value)}")
+    if delivery_ratio is not None:
+        keys.add(f"delivery:{int(round(max(0.0, delivery_ratio) * 20))}")
+    for invariant in violations:
+        keys.add(f"violation:{invariant}")
+    return frozenset(keys)
+
+
+class CoverageMap:
+    """Accumulates coverage keys across a fuzzing campaign.
+
+    Tracks, per key, how many runs hit it; :meth:`add` returns the keys
+    that were *new* — the fuzzer's novelty signal.  Iteration order never
+    leaks out: every view is sorted, so two campaigns that observe the
+    same multiset of key sets serialize identically.
+    """
+
+    def __init__(self) -> None:
+        self._hits: Dict[str, int] = {}
+        self.runs = 0
+
+    def __len__(self) -> int:
+        return len(self._hits)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._hits
+
+    def add(self, keys: Iterable[str]) -> List[str]:
+        """Record one run's key set; returns the novel keys, sorted."""
+        self.runs += 1
+        novel = []
+        for key in sorted(set(keys)):
+            count = self._hits.get(key, 0)
+            if count == 0:
+                novel.append(key)
+            self._hits[key] = count + 1
+        return novel
+
+    def hits(self, key: str) -> int:
+        return self._hits.get(key, 0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Canonical JSON-ready view: total runs, key count, and the
+        per-key hit counters sorted by key."""
+        return {
+            "runs": self.runs,
+            "keys": len(self._hits),
+            "hits": {key: self._hits[key] for key in sorted(self._hits)},
+        }

@@ -26,7 +26,48 @@ from ..workloads.scenarios import AdversaryMix, ScenarioConfig
 from .checkpoint import CheckpointConfig, _jsonable, config_key
 from .experiment import ExperimentConfig, ExperimentResult, run_experiment
 
-__all__ = ["Campaign", "config_key", "result_to_record"]
+__all__ = ["Campaign", "config_key", "parallel_map", "result_to_record"]
+
+
+def parallel_map(func: Callable[[Any], Any], tasks: Iterable[Any], *,
+                 workers: int = 1, pool: Optional[Any] = None,
+                 on_result: Optional[Callable[[Any, Any], None]] = None
+                 ) -> List[Any]:
+    """Order-preserving map over a worker pool — the one parallel fabric
+    campaigns and fuzzing loops share.
+
+    ``func`` must be a module-level callable and every task picklable.
+    Results come back in task order regardless of ``workers``, which is
+    what makes every consumer (campaign records, fuzz corpus/coverage
+    merging) byte-identical across worker counts.  ``on_result(task,
+    result)`` fires in task order as results arrive — pooled runs stream
+    them via ``imap`` so a long campaign persists finished work before
+    the slowest task completes.  Pass ``pool`` to reuse a long-lived
+    ``multiprocessing.Pool`` across many calls (the fuzzer evaluates one
+    small batch per generation; re-forking per batch would dominate).
+    """
+    tasks = list(tasks)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1: {workers}")
+    results: List[Any] = []
+    if pool is not None:
+        iterator = pool.imap(func, tasks, chunksize=1)
+    elif workers == 1 or len(tasks) <= 1:
+        iterator = map(func, tasks)
+    else:
+        with multiprocessing.Pool(processes=min(workers, len(tasks))) \
+                as owned:
+            for task, result in zip(tasks, owned.imap(func, tasks,
+                                                      chunksize=1)):
+                if on_result is not None:
+                    on_result(task, result)
+                results.append(result)
+            return results
+    for task, result in zip(tasks, iterator):
+        if on_result is not None:
+            on_result(task, result)
+        results.append(result)
+    return results
 
 
 def result_to_record(config: ExperimentConfig,
@@ -171,13 +212,16 @@ class Campaign:
             for key, config in pending:
                 progress(f"running {config.protocol} n={config.scenario.n} "
                          f"seed={config.scenario.seed} [{key}]")
-        pool_size = min(workers, len(pending))
-        with multiprocessing.Pool(processes=pool_size) as pool:
-            for key, record in pool.imap_unordered(_run_record, pending):
-                self._write(key, record)
-                if progress is not None:
-                    progress(f"finished [{key}]")
-                executed += 1
+
+        def persist(task, outcome):
+            key, record = outcome
+            self._write(key, record)
+            if progress is not None:
+                progress(f"finished [{key}]")
+
+        parallel_map(_run_record, pending, workers=workers,
+                     on_result=persist)
+        executed += len(pending)
         return executed, skipped
 
     def _write(self, key: str, record: Dict[str, Any]) -> None:

@@ -129,7 +129,7 @@ def line_coords(count: int, spacing: float) -> List[Tuple[float, float]]:
 # ----------------------------------------------------------------------
 #: Behaviour kinds safe to swap in mid-run without extra parameters.
 SWAPPABLE_BEHAVIORS = ("mute", "forging", "selective_drop", "gossip_liar",
-                      "deaf")
+                      "deaf", "limited_send")
 
 
 def fault_events(n: int, horizon: float = 6.0):

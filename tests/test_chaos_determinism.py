@@ -222,6 +222,32 @@ def test_observation_does_not_perturb_the_run():
         stripped(observed_config, traced)
 
 
+def test_fuzz_campaign_byte_identical_across_repeats_and_workers(tmp_path):
+    """The fuzzing loop rides on the same determinism contract: a
+    fixed-seed campaign produces byte-identical coverage counters and
+    corpus files on every invocation and across workers=1 vs 4."""
+    from repro.fuzz import FuzzConfig, TargetSpec, fuzz
+
+    def campaign(tag, workers):
+        directory = tmp_path / tag
+        config = FuzzConfig(
+            target=TargetSpec(runner="broken_recovery"),
+            iterations=32, batch=8, fuzz_seed=1, workers=workers,
+            corpus_dir=str(directory))
+        report = fuzz(config).to_dict()
+        for failure in report["failures"]:
+            failure.pop("path", None)  # embeds the per-tag tmp dir
+        files = {p.name: p.read_bytes()
+                 for p in directory.glob("*.json")}
+        return json.dumps(report, sort_keys=True), files
+
+    serial_report, serial_corpus = campaign("w1", 1)
+    pooled_report, pooled_corpus = campaign("w4", 4)
+    repeat_report, repeat_corpus = campaign("w1b", 1)
+    assert serial_report == pooled_report == repeat_report
+    assert serial_corpus == pooled_corpus == repeat_corpus
+
+
 def test_acceptance_schedule_deterministic_across_workers():
     """The issue's acceptance shape: one schedule touching every fault
     family, identical records across two invocations and across

@@ -233,3 +233,58 @@ class TestObservabilityOptions:
         code, output = run_cli(["trace", "validate", str(bad)])
         assert code == 1
         assert "invalid ph" in output
+
+
+@pytest.mark.fuzz
+class TestFuzzCommands:
+    import os as _os
+    #: The committed reproducer corpus at the repo root.
+    CORPUS = _os.path.join(_os.path.dirname(__file__), _os.pardir,
+                           "corpus")
+
+    def test_fuzz_run_defaults(self):
+        args = build_parser().parse_args(["fuzz", "run"])
+        assert args.iterations == 200
+        assert args.runner == "experiment"
+        assert args.fuzz_seed == 1
+
+    def test_fuzz_rejects_unknown_runner(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fuzz", "run", "--runner", "broken_nothing"])
+
+    def test_fuzz_replay_committed_corpus(self):
+        code, output = run_cli(["fuzz", "replay", self.CORPUS])
+        assert code == 0
+        assert "reproduced" in output
+        assert "LOST" not in output
+        assert "forged_payload" in output
+
+    def test_fuzz_replay_missing_corpus(self, tmp_path):
+        code, output = run_cli(["fuzz", "replay", str(tmp_path / "empty")])
+        assert code == 1
+        assert "no corpus entries" in output
+
+    def test_fuzz_run_finds_planted_bug_and_writes_corpus(self, tmp_path):
+        corpus = tmp_path / "found"
+        report = tmp_path / "report.json"
+        code, output = run_cli(
+            ["fuzz", "run", "--runner", "broken_recovery",
+             "--iterations", "48", "--fuzz-seed", "1",
+             "--stop-after-failures", "1",
+             "--corpus", str(corpus), "--report", str(report)])
+        assert code == 0
+        assert "duplicate_delivery/forged_payload" in output
+        assert list(corpus.glob("*.json"))
+        assert report.exists()
+
+    def test_fuzz_shrink_corpus_entry(self):
+        import os
+        entries = sorted(
+            p for p in os.listdir(self.CORPUS) if p.endswith(".json"))
+        assert entries
+        code, output = run_cli(
+            ["fuzz", "shrink", os.path.join(self.CORPUS, entries[0]),
+             "--budget", "40"])
+        assert code == 0
+        assert "-> " in output and "events" in output

@@ -1,0 +1,205 @@
+"""Fuzzing-loop tests: coverage signal, mutator validity, campaign
+determinism, and the planted-bug smoke find.
+
+The smoke test is the suite's teeth: a fixed-seed campaign against the
+``broken_recovery`` fixture must rediscover the planted crash→restart
+bug within 200 candidate evaluations.  Because the whole loop is a pure
+function of ``fuzz_seed``, the discovery iteration is stable — the test
+would only move if mutation/selection semantics changed, which is
+exactly when it *should* speak up.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultSchedule
+from repro.des.random import StreamFactory
+from repro.fuzz import FuzzConfig, TargetSpec, fuzz
+from repro.fuzz.mutate import ScheduleMutator
+from repro.obs import CoverageMap, bucketize, trace_coverage
+
+pytestmark = pytest.mark.fuzz
+
+
+# ----------------------------------------------------------------------
+# coverage signal
+# ----------------------------------------------------------------------
+def test_bucketize_doubles():
+    assert [bucketize(v) for v in (0, 1, 2, 3, 4, 5, 8, 9, 16, 17)] == \
+        [0, 1, 2, 3, 3, 4, 4, 5, 5, 6]
+    assert bucketize(-3) == 0
+
+
+def test_trace_coverage_keys():
+    trace = {"counters": {"spans.deliver": 9, "packets.data": 0}}
+    keys = trace_coverage(trace, delivery_ratio=0.8,
+                          violations=("forged_payload",))
+    assert keys == frozenset({
+        "c:spans.deliver:5", "c:packets.data:0",
+        "delivery:16", "violation:forged_payload"})
+    # No trace at all still yields delivery/violation keys.
+    assert trace_coverage(None, delivery_ratio=1.0) == \
+        frozenset({"delivery:20"})
+
+
+def test_coverage_map_novelty_and_snapshot():
+    cov = CoverageMap()
+    assert cov.add(["b", "a"]) == ["a", "b"]
+    assert cov.add(["a", "c"]) == ["c"]
+    assert cov.add(["a"]) == []
+    assert cov.runs == 3
+    assert cov.hits("a") == 3 and cov.hits("c") == 1
+    snap = cov.snapshot()
+    assert snap == {"runs": 3, "keys": 3,
+                    "hits": {"a": 3, "b": 1, "c": 1}}
+    assert list(snap["hits"]) == ["a", "b", "c"]
+
+
+# ----------------------------------------------------------------------
+# mutator
+# ----------------------------------------------------------------------
+def make_mutator(seed=1, n=10, max_events=12):
+    return ScheduleMutator(n, 5.0, StreamFactory(seed).stream("m"),
+                           max_events=max_events)
+
+
+def test_mutator_only_emits_valid_schedules():
+    """500 mutation steps: every event constructs (validated by
+    FaultEvent), targets a node < n, stays within the horizon, and the
+    schedule respects the size cap."""
+    mutator = make_mutator()
+    schedule = mutator.seed()
+    for _ in range(500):
+        schedule = mutator.mutate(schedule)
+        assert schedule.events
+        assert len(schedule.events) <= 12
+        for event in schedule.events:
+            assert 0 <= event.node < 10
+            assert 0.0 <= event.time <= 5.0
+        # Round-trips exactly (mutations only produce corpus-ready data).
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+
+def test_mutator_is_deterministic():
+    def lineage(seed):
+        mutator = make_mutator(seed)
+        schedule = mutator.seed()
+        digests = []
+        for _ in range(50):
+            schedule = mutator.mutate(schedule)
+            digests.append(schedule.digest())
+        return digests
+
+    assert lineage(3) == lineage(3)
+    assert lineage(3) != lineage(4)
+
+
+def test_mutator_reaches_paired_windows():
+    """The window operator emits open/close pairs on one node — the
+    shape that makes recovery bugs (crash *then* restart) reachable."""
+    mutator = make_mutator(seed=5)
+    seen_pairs = set()
+    schedule = FaultSchedule(events=())
+    for _ in range(300):
+        schedule = mutator.mutate(schedule)
+        ordered = schedule.sorted_by_time().events
+        for i, opening in enumerate(ordered):
+            for closing in ordered[i + 1:]:
+                if closing.node == opening.node:
+                    seen_pairs.add((opening.action, closing.action))
+    assert ("crash", "restart") in seen_pairs
+    assert ("deaf", "hear") in seen_pairs
+
+
+def test_splice_copies_donor_events():
+    mutator = make_mutator(seed=9, max_events=30)
+    donor = FaultSchedule(events=(
+        FaultEvent(2.5, 7, "tx_power", params={"factor": 0.33}),))
+    base = mutator.seed()
+    spliced = False
+    for _ in range(200):
+        base = mutator.mutate(base, donor=donor)
+        if donor.events[0] in base.events:
+            spliced = True
+            break
+    assert spliced
+
+
+# ----------------------------------------------------------------------
+# campaign determinism + smoke find
+# ----------------------------------------------------------------------
+SMOKE_TARGET = TargetSpec(runner="broken_recovery")
+
+
+def campaign_report(workers, iterations=48, corpus_dir=None):
+    config = FuzzConfig(target=SMOKE_TARGET, iterations=iterations,
+                        batch=8, fuzz_seed=1, workers=workers,
+                        corpus_dir=corpus_dir)
+    report = fuzz(config).to_dict()
+    for failure in report["failures"]:
+        failure.pop("path", None)  # embeds the tmp dir name
+    return json.dumps(report, sort_keys=True)
+
+
+def test_campaign_deterministic_across_repeats_and_workers(tmp_path):
+    d1, d4, d1b = (str(tmp_path / tag) for tag in ("w1", "w4", "w1b"))
+    serial = campaign_report(1, corpus_dir=d1)
+    pooled = campaign_report(4, corpus_dir=d4)
+    again = campaign_report(1, corpus_dir=d1b)
+    assert serial == pooled
+    assert serial == again
+
+    def corpus_bytes(directory):
+        root = tmp_path / directory
+        return {p.name: p.read_bytes() for p in root.glob("*.json")}
+
+    assert corpus_bytes("w1") == corpus_bytes("w4") == corpus_bytes("w1b")
+    assert corpus_bytes("w1"), "campaign found nothing to write"
+
+
+def test_smoke_fuzz_finds_planted_violation_within_200_iterations(
+        tmp_path):
+    """Acceptance: a fixed-seed campaign rediscovers the planted
+    broken-recovery bug, shrinks it to its crash→restart core, and
+    writes the reproducer to the corpus — inside 200 evaluations."""
+    config = FuzzConfig(target=SMOKE_TARGET, iterations=200, batch=8,
+                        fuzz_seed=1, corpus_dir=str(tmp_path),
+                        stop_after_failures=1)
+    report = fuzz(config)
+    assert report.evaluated <= 200
+    planted = [f for f in report.failures
+               if {"forged_payload", "duplicate_delivery"}
+               <= set(f["signature"])]
+    assert planted, f"planted bug not found: {report.failures}"
+    found = planted[0]
+    assert found["found_iteration"] <= 200
+    assert found["events"] <= 3
+    # The shrunk reproducer contains the crash→restart core on node n-1.
+    entry = found["entry"]
+    actions = {(e["action"], e["node"])
+               for e in entry["schedule"]["events"]}
+    assert ("crash", SMOKE_TARGET.n - 1) in actions
+    assert ("restart", SMOKE_TARGET.n - 1) in actions
+    assert list(tmp_path.glob("*.json")), "reproducer not persisted"
+
+
+def test_healthy_target_yields_no_invariant_failures():
+    """The real (unsabotaged) stack under the same budget: delivery may
+    degrade (that's a genuine finding), but no oracle invariant fires —
+    the planted fixtures, not the protocol, are what the smoke test
+    detects."""
+    config = FuzzConfig(target=TargetSpec(), iterations=24, batch=8,
+                        fuzz_seed=1)
+    report = fuzz(config)
+    for failure in report.failures:
+        assert set(failure["signature"]) <= {"delivery_degraded"}, \
+            failure["signature"]
+
+
+def test_stop_after_failures_halts_early():
+    config = FuzzConfig(target=SMOKE_TARGET, iterations=200, batch=8,
+                        fuzz_seed=1, stop_after_failures=1)
+    report = fuzz(config)
+    assert report.failures
+    assert report.evaluated < 200

@@ -1,0 +1,128 @@
+"""FaultSchedule/CorpusEntry JSON round-trip exactness.
+
+The corpus leans on an exact contract: ``from_json(to_json(s)) == s`` and
+the re-serialization is byte-identical — for arbitrary timestamps,
+behaviour kwargs, and attacker windows.  JSON is lossy about containers
+(tuples and lists collapse, sets don't exist) and numeric faces (``1``
+vs ``1.0``), so :class:`FaultEvent` canonicalizes at construction time;
+these tests pin that canonicalization from every angle hypothesis can
+reach.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import FaultEvent, FaultSchedule
+from repro.fuzz import CorpusEntry, TargetSpec
+
+from tests.helpers import fault_schedules
+
+pytestmark = pytest.mark.fuzz
+
+RELAXED = dict(deadline=None,
+               suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(max_examples=200, **RELAXED)
+@given(schedule=fault_schedules(10, horizon=50.0, max_events=8))
+def test_schedule_json_round_trip_exact(schedule):
+    reparsed = FaultSchedule.from_json(schedule.to_json())
+    assert reparsed == schedule
+    assert reparsed.to_json() == schedule.to_json()
+    assert reparsed.digest() == schedule.digest()
+
+
+@settings(max_examples=100, **RELAXED)
+@given(time=st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                      allow_infinity=False, allow_subnormal=False),
+       node=st.integers(min_value=0, max_value=1000))
+def test_arbitrary_timestamps_survive(time, node):
+    event = FaultEvent(time=time, node=node, action="crash")
+    again = FaultEvent.from_dict(json.loads(json.dumps(event.to_dict())))
+    assert again == event
+    assert again.time == event.time
+
+
+def test_int_time_equals_float_time():
+    assert FaultEvent(1, 3, "mute") == FaultEvent(1.0, 3, "mute")
+    reparsed = FaultEvent.from_dict(FaultEvent(1, 3, "mute").to_dict())
+    assert isinstance(reparsed.time, float)
+
+
+def test_container_params_canonicalize():
+    """Tuples, lists and (frozen)sets of drop kinds are the same event —
+    and equal their own JSON round trip."""
+    as_tuple = FaultEvent(1.0, 2, "behavior",
+                          params={"kind": "selective_drop",
+                                  "drop_probability": 0.5,
+                                  "drop_kinds": ("data", "gossip")})
+    as_list = FaultEvent(1.0, 2, "behavior",
+                         params={"kind": "selective_drop",
+                                 "drop_probability": 0.5,
+                                 "drop_kinds": ["data", "gossip"]})
+    as_set = FaultEvent(1.0, 2, "behavior",
+                        params={"kind": "selective_drop",
+                                "drop_probability": 0.5,
+                                "drop_kinds": frozenset(
+                                    ("gossip", "data"))})
+    assert as_tuple == as_list == as_set
+    for event in (as_tuple, as_list, as_set):
+        assert FaultEvent.from_dict(
+            json.loads(json.dumps(event.to_dict()))) == event
+
+
+def test_param_key_order_is_canonical():
+    a = FaultEvent(0.0, 1, "attacker_start",
+                   params={"kind": "request_flood", "rate_hz": 5.0})
+    b = FaultEvent(0.0, 1, "attacker_start",
+                   params={"rate_hz": 5.0, "kind": "request_flood"})
+    assert a == b
+    assert json.dumps(a.to_dict(), sort_keys=True) == \
+        json.dumps(b.to_dict(), sort_keys=True)
+
+
+def test_non_jsonable_params_rejected_at_construction():
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, 1, "behavior", params={"kind": object()})
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, 1, "behavior",
+                   params={"kind": "mute", "extra": float("inf")})
+
+
+def test_attacker_window_round_trips():
+    schedule = FaultSchedule(events=(
+        FaultEvent(0.25, 4, "attacker_start",
+                   params={"kind": "gossip_flood", "rate_hz": 12.0,
+                           "fanout": 3}),
+        FaultEvent(3.75, 4, "attacker_stop"),
+    ))
+    again = FaultSchedule.from_json(schedule.to_json())
+    assert again == schedule
+    start = again.events[0]
+    assert start.params["rate_hz"] == 12.0
+    assert start.params["fanout"] == 3
+
+
+@settings(max_examples=50, **RELAXED)
+@given(schedule=fault_schedules(10, horizon=5.0, max_events=6),
+       iteration=st.integers(min_value=0, max_value=10_000))
+def test_corpus_entry_round_trip_exact(schedule, iteration):
+    entry = CorpusEntry(target=TargetSpec(), schedule=schedule,
+                        signature=("forged_payload",),
+                        found_iteration=iteration,
+                        stats={"original_events": len(schedule.events)})
+    again = CorpusEntry.from_dict(json.loads(entry.to_json()))
+    assert again == entry
+    assert again.to_json() == entry.to_json()
+    assert again.digest() == entry.digest()
+
+
+def test_schedule_digest_is_content_address():
+    a = FaultSchedule(events=(FaultEvent(1.0, 2, "mute"),))
+    b = FaultSchedule(events=(FaultEvent(1, 2, "mute", params={}),))
+    c = FaultSchedule(events=(FaultEvent(1.0, 3, "mute"),))
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()

@@ -1,0 +1,158 @@
+"""Shrinker unit tests: ddmin finds the planted core, and every accepted
+reduction reproduces.
+
+Two layers: synthetic predicates (fast, exercise the ddmin/normalization
+machinery exhaustively) and one real run against the planted
+``broken_recovery`` fixture (slow path, proves the whole loop — run,
+signature, predicate — composes).
+"""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultSchedule
+from repro.des.random import StreamFactory
+from repro.fuzz import TargetSpec, shrink_events
+from repro.fuzz.mutate import ScheduleMutator
+
+pytestmark = pytest.mark.fuzz
+
+N = 10
+
+
+def noisy_schedule(core, noise_events=28, seed=7, n=N):
+    """``core`` buried inside ``noise_events`` arbitrary mutated events."""
+    mutator = ScheduleMutator(n, 5.0, StreamFactory(seed).stream("noise"),
+                              max_events=noise_events + len(core))
+    noise = []
+    while len(noise) < noise_events:
+        noise.extend(mutator.seed().events)
+    return FaultSchedule(
+        events=tuple(noise[:noise_events]) + tuple(core)).sorted_by_time()
+
+
+CORE = (FaultEvent(0.7, N - 1, "crash"),
+        FaultEvent(1.9, N - 1, "restart"))
+
+
+class RecordingPredicate:
+    """Wraps a predicate; remembers every schedule it accepted."""
+
+    def __init__(self, predicate):
+        self._predicate = predicate
+        self.accepted = []
+        self.calls = 0
+
+    def __call__(self, schedule):
+        self.calls += 1
+        verdict = self._predicate(schedule)
+        if verdict:
+            self.accepted.append(schedule)
+        return verdict
+
+
+def has_core(schedule):
+    """Synthetic failure: a crash of node N-1 followed (in time order) by
+    a restart of node N-1."""
+    crash_at = None
+    for event in schedule.sorted_by_time().events:
+        if event.node == N - 1 and event.action == "crash":
+            crash_at = event.time
+        if (event.node == N - 1 and event.action == "restart"
+                and crash_at is not None and event.time >= crash_at):
+            return True
+    return False
+
+
+def test_thirty_events_shrink_to_two_core_events():
+    schedule = noisy_schedule(CORE)
+    assert len(schedule.events) == 30
+    assert has_core(schedule)
+    result = shrink_events(schedule, has_core, budget=500)
+    assert len(result.schedule.events) == 2
+    actions = sorted((e.action, e.node) for e in result.schedule.events)
+    assert actions == [("crash", N - 1), ("restart", N - 1)]
+    assert result.original_events == 30
+
+
+def test_shrinker_never_returns_non_reproducing_schedule():
+    """The returned schedule — and every intermediate the shrinker
+    accepted — must satisfy the predicate."""
+    recorder = RecordingPredicate(has_core)
+    result = shrink_events(noisy_schedule(CORE, seed=11), recorder,
+                           budget=500)
+    assert recorder.accepted, "shrinker accepted nothing"
+    assert has_core(result.schedule)
+    for accepted in recorder.accepted:
+        assert has_core(accepted)
+    # The final schedule is one the predicate actually blessed.
+    assert result.schedule in recorder.accepted
+
+
+def test_non_reproducing_input_returned_unchanged():
+    schedule = noisy_schedule((), noise_events=6, seed=13)
+
+    def never(_):
+        return False
+
+    result = shrink_events(schedule, never)
+    assert result.schedule == schedule
+    assert result.accepted == 0
+    assert result.tests == 1  # only the input check ran
+
+
+def test_single_event_core_shrinks_to_one():
+    core = (FaultEvent(1.3, 2, "mute"),)
+
+    def mutes_node_two(schedule):
+        return any(e.node == 2 and e.action == "mute"
+                   for e in schedule.events)
+
+    result = shrink_events(noisy_schedule(core, seed=17), mutes_node_two,
+                           budget=500)
+    assert len(result.schedule.events) == 1
+    event = result.schedule.events[0]
+    assert (event.action, event.node) == ("mute", 2)
+    # Normalization drives the surviving time toward zero.
+    assert event.time == 0.0
+
+
+def test_budget_caps_predicate_executions():
+    recorder = RecordingPredicate(has_core)
+    shrink_events(noisy_schedule(CORE, seed=19), recorder, budget=10)
+    assert recorder.calls <= 10
+
+
+def test_memoization_never_reruns_a_digest():
+    seen = set()
+
+    def pred(schedule):
+        digest = schedule.digest()
+        assert digest not in seen, "predicate re-executed a digest"
+        seen.add(digest)
+        return has_core(schedule)
+
+    shrink_events(noisy_schedule(CORE, seed=23), pred, budget=500)
+
+
+def test_real_broken_recovery_shrinks_to_crash_restart_core():
+    """End-to-end: a 30-event schedule that trips the planted
+    ``broken_recovery`` bug shrinks to a tiny core that still contains
+    the crash→restart pair of node n-1 — and every accepted reduction
+    reproduced the original signature."""
+    target = TargetSpec(runner="broken_recovery")
+    schedule = noisy_schedule(CORE, seed=7)
+    baseline = target.signature_of(target.run(schedule))
+    assert {"forged_payload", "duplicate_delivery"} <= set(baseline)
+
+    def reproduces(candidate):
+        return set(baseline) <= set(
+            target.signature_of(target.run(candidate)))
+
+    recorder = RecordingPredicate(reproduces)
+    result = shrink_events(schedule, recorder, budget=300)
+    assert len(result.schedule.events) <= 3
+    actions = {(e.action, e.node) for e in result.schedule.events}
+    assert ("crash", N - 1) in actions
+    assert ("restart", N - 1) in actions
+    for accepted in recorder.accepted:
+        assert reproduces(accepted)
