@@ -1,0 +1,143 @@
+"""Arena scorecard — every registered protocol through the E1–E4 subset.
+
+One table, four evaluation axes per protocol, measured on identical
+scenarios:
+
+* **E1** failure-free overhead (non-HELLO transmissions per broadcast),
+* **E2** failure-free delivery ratio,
+* **E3** failure-free mean delivery latency,
+* **E4** delivery with Byzantine-mute nodes (same mute count for every
+  protocol, so rows are directly comparable — protocols whose declared
+  tolerance is lower than the applied count are *expected* to shed
+  delivery here; that is the trade the scorecard exists to show).
+
+The committed ``benchmarks/results/arena_scorecard.md`` is the full-scale
+output of this module; regenerate it with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_arena_scorecard.py -q -s
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the world so CI can afford
+the sweep; the smoke run exercises the same code paths but its table is
+not the committed artifact.
+"""
+
+import os
+from dataclasses import replace
+
+import repro.arena as arena
+from repro.chaos import OracleConfig
+from repro.sim.experiment import ExperimentConfig, run_experiment
+from repro.sim.sweeps import average_results
+from repro.workloads.scenarios import AdversaryMix, ScenarioConfig
+
+from common import RESULTS_DIR, emit, once
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+N = 12 if SMOKE else 24
+SEEDS = (3,) if SMOKE else (1, 2)
+MESSAGES = 2 if SMOKE else 4
+#: E4's fault injection, applied identically to every protocol.
+MUTE_COUNT = 1 if SMOKE else 2
+
+WORKLOAD = dict(warmup=6.0, message_count=MESSAGES,
+                message_interval=1.0, drain=10.0)
+
+SCORECARD_MD = os.path.join(RESULTS_DIR, "arena_scorecard.md")
+
+
+def scorecard_config(protocol: str, seed: int,
+                     mute: int = 0) -> ExperimentConfig:
+    adversaries = AdversaryMix.mute(mute) if mute else AdversaryMix()
+    return ExperimentConfig(
+        scenario=ScenarioConfig(n=N, seed=seed, adversaries=adversaries),
+        protocol=protocol, oracle=OracleConfig(), **WORKLOAD)
+
+
+def averaged(protocol: str, mute: int = 0):
+    return average_results([
+        run_experiment(scorecard_config(protocol, seed, mute))
+        for seed in SEEDS])
+
+
+def run_scorecard():
+    rows = []
+    for protocol in arena.available_protocols():
+        spec = arena.get_protocol(protocol)
+        fault_free = averaged(protocol)
+        muted = averaged(protocol, MUTE_COUNT)
+        rows.append({
+            "protocol": protocol,
+            "tol": spec.mute_tolerance(N),
+            "tx/bcast": round(fault_free.transmissions_per_broadcast, 1),
+            "bytes/bcast": round(fault_free.bytes_per_broadcast),
+            "delivery": round(fault_free.delivery_ratio, 4),
+            "lat_mean": round(fault_free.mean_latency, 4),
+            f"delivery@{MUTE_COUNT}mute": round(muted.delivery_ratio, 4),
+            "violations": (fault_free.invariant_violations
+                           + muted.invariant_violations),
+        })
+    return rows
+
+
+def write_markdown(rows) -> None:
+    headers = list(rows[0])
+    lines = [
+        "# Arena scorecard — cross-protocol E1–E4 subset",
+        "",
+        f"Scenario: n={N}, seeds={SEEDS}, {MESSAGES} broadcasts, "
+        f"E4 column = {MUTE_COUNT} Byzantine-mute node(s) (high-id "
+        "placement) for *every* protocol regardless of its declared "
+        "tolerance (`tol`).",
+        "",
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row[h]) for h in headers)
+                     + " |")
+    lines += [
+        "",
+        "Columns: `tx/bcast`, `bytes/bcast` — non-HELLO cost per "
+        "broadcast (E1); `delivery`, `lat_mean` — failure-free (E2, "
+        "E3); `delivery@…mute` — under mute faults (E4); `violations` "
+        "— invariant-oracle findings across both runs (must be 0).",
+        "",
+    ]
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(SCORECARD_MD, "w") as handle:
+        handle.write("\n".join(lines))
+
+
+def test_arena_scorecard(benchmark):
+    rows = once(benchmark, run_scorecard)
+    emit("arena_scorecard", "Arena: cross-protocol E1-E4 scorecard", rows)
+    write_markdown(rows)
+
+    by_protocol = {row["protocol"]: row for row in rows}
+    assert set(by_protocol) == set(arena.available_protocols())
+
+    for row in rows:
+        # Safety is non-negotiable at any scale or fault load.
+        assert row["violations"] == 0, row
+
+    # Fault-free completeness at scale: exact for every protocol with a
+    # recovery/quorum path.  The two one-shot designs are allowed their
+    # documented losses — overlay_only has no recovery for collision
+    # drops (the E2 story), and optflood's fixed counter threshold can
+    # starve nodes behind sparse cuts (the broadcast-storm trade).
+    for name in ("byzcast", "flooding", "multi_overlay", "dolev",
+                 "maurer_tixeuil"):
+        assert by_protocol[name]["delivery"] == 1.0, by_protocol[name]
+    for name in ("overlay_only", "optflood"):
+        assert by_protocol[name]["delivery"] >= 0.85, by_protocol[name]
+
+    # The paper's stack holds full delivery at the E4 fault load; the
+    # one-shot baselines are allowed to shed (that is their trade).
+    assert by_protocol["byzcast"][f"delivery@{MUTE_COUNT}mute"] == 1.0
+    assert by_protocol["flooding"][f"delivery@{MUTE_COUNT}mute"] == 1.0
+
+    # Suppression must actually pay: optimized flooding spends fewer
+    # transmissions per broadcast than plain flooding.
+    assert by_protocol["optflood"]["tx/bcast"] < \
+        by_protocol["flooding"]["tx/bcast"]

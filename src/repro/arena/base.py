@@ -1,0 +1,220 @@
+"""Shared machinery for arena protocol nodes.
+
+:class:`ArenaNode` implements the full arena node contract (see
+:mod:`repro.arena.registry`): radio wiring, signed DATA creation,
+at-most-once delivery with listener fan-out, behaviour-policy filtering,
+obs lifecycle spans, and crash/restart fault hooks.  A concrete protocol
+only decides *when* to transmit and *when* a received copy is
+trustworthy enough to deliver.
+
+Subclass hooks
+--------------
+``_on_broadcast(message)``
+    The node originated ``message``; disseminate it.
+``_on_message(packet)``
+    A non-HELLO packet arrived (already behaviour-intercepted).
+``_start_protocol() / _stop_protocol() / _reset_protocol_state()``
+    Periodic machinery lifecycle; reset is called by a state-wiping
+    restart (the broadcast sequence counter survives so a node never
+    reuses a message id — same contract as
+    :class:`repro.core.NetworkNode`).
+
+Everything here is picklable (bound methods only, no closures), so every
+arena protocol works under checkpoint/resume unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.messages import DATA, DataMessage, MessageId
+from ..core.protocol import NodeBehavior
+from ..crypto.keystore import KeyDirectory
+from ..des.kernel import Simulator
+from ..des.random import StreamFactory
+from ..obs import context as obs
+from ..radio.geometry import Position
+from ..radio.mac import MacConfig
+from ..radio.medium import Medium
+from ..radio.packet import Packet
+from ..radio.radio import Radio
+
+__all__ = ["ArenaNode", "DATA_HEADER_BYTES"]
+
+DATA_HEADER_BYTES = 20
+
+AcceptListener = Callable[[int, int, bytes, MessageId], None]
+
+
+class ArenaNode:
+    """Base class for rival-protocol nodes in the arena."""
+
+    def __init__(self, sim: Simulator, medium: Medium, node_id: int,
+                 position: Position, tx_range: float,
+                 streams: StreamFactory, directory: KeyDirectory,
+                 mac_config: Optional[MacConfig] = None,
+                 behavior: Optional[NodeBehavior] = None):
+        self._sim = sim
+        self._node_id = node_id
+        self._directory = directory
+        self.signer = directory.issue(node_id)
+        self._behavior = behavior
+        self._seq = 0
+        self._crashed = False
+        self._delivered: set = set()
+        self.accepted: List[Tuple[float, int, MessageId]] = []
+        self._accept_listeners: List[AcceptListener] = []
+        self.radio = Radio(sim, medium, node_id, position, tx_range,
+                           streams.stream(f"mac:{node_id}"), mac_config)
+        self.radio.set_receiver(self._on_packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def position(self) -> Position:
+        return self.radio.position
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def start(self) -> None:
+        self._start_protocol()
+
+    def stop(self) -> None:
+        self._stop_protocol()
+
+    def add_accept_listener(self, listener: AcceptListener) -> None:
+        self._accept_listeners.append(listener)
+
+    def set_behavior(self, behavior: Optional[NodeBehavior]) -> None:
+        """Swap the behaviour policy mid-run (``None`` → correct)."""
+        self._behavior = behavior
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.chaos drives these)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-fault the node: radio off, periodic machinery halted.
+        Idempotent, mirroring :class:`repro.core.NetworkNode`."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.radio.power_off()
+        self._stop_protocol()
+
+    def restart(self, reset_state: bool = True) -> None:
+        """Bring a crashed node back; idempotent on a live node."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        if reset_state:
+            self._delivered = set()
+            self._reset_protocol_state()
+        self.radio.power_on()
+        self._start_protocol()
+
+    # ------------------------------------------------------------------
+    # Broadcast / deliver
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: bytes) -> MessageId:
+        """Application-level broadcast(p, m)."""
+        self._seq += 1
+        message = DataMessage.create(self.signer, self._seq, payload)
+        self._delivered.add(message.msg_id)
+        ctx = obs.ACTIVE
+        if ctx is not None:
+            msg = (message.msg_id.originator, message.msg_id.seq)
+            ctx.span("origin", self._node_id, msg=msg,
+                     size=len(message.payload))
+            ctx.span("sign", self._node_id, msg=msg)
+        self._on_broadcast(message)
+        return message.msg_id
+
+    def _deliver(self, message: DataMessage, sender: int) -> bool:
+        """Accept ``message`` at-most-once; True if newly delivered."""
+        if message.msg_id in self._delivered:
+            ctx = obs.ACTIVE
+            if ctx is not None:
+                ctx.span("suppress", self._node_id,
+                         msg=(message.msg_id.originator, message.msg_id.seq),
+                         reason="duplicate")
+            return False
+        self._delivered.add(message.msg_id)
+        ctx = obs.ACTIVE
+        if ctx is not None:
+            ctx.span("deliver", self._node_id,
+                     msg=(message.msg_id.originator, message.msg_id.seq),
+                     sender=sender)
+        self._on_accept(message.msg_id.originator, message.payload,
+                        message.msg_id)
+        return True
+
+    def _on_accept(self, originator: int, payload: bytes,
+                   msg_id: MessageId) -> None:
+        """The accept seam — same shape as ``NetworkNode._on_accept`` so
+        the planted-bug fuzz fixtures can sabotage every protocol through
+        one patch point."""
+        self.accepted.append((self._sim.now, originator, msg_id))
+        for listener in self._accept_listeners:
+            listener(self._node_id, originator, payload, msg_id)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _send_data(self, message: DataMessage, wire=None,
+                   extra_bytes: int = 0) -> bool:
+        """Behaviour-filter and transmit one DATA frame.
+
+        ``wire`` is the on-air object when the protocol wraps the message
+        in an envelope (path lists, overlay tags); the behaviour policy
+        always filters the *inner* :class:`DataMessage`, and envelope
+        subclasses rebuild around the filtered copy via ``_rewrap``.
+        """
+        if self._behavior is not None:
+            filtered = self._behavior.filter_outgoing(DATA, message)
+            if filtered is None:
+                return False
+            if filtered is not message:
+                message = filtered
+                wire = None if wire is None else self._rewrap(wire, message)
+        size = (DATA_HEADER_BYTES + extra_bytes + len(message.payload)
+                + self._directory.signature_size)
+        self.radio.send(message if wire is None else wire,
+                        size_bytes=size, kind=DATA)
+        return True
+
+    def _rewrap(self, wire, message: DataMessage):
+        """Rebuild a wire envelope around a behaviour-mutated message;
+        envelope protocols override."""
+        return wire
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        if self._behavior is not None and self._behavior.intercept_incoming(
+                packet.kind, packet.payload, packet.sender):
+            return
+        self._on_message(packet)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _on_broadcast(self, message: DataMessage) -> None:
+        raise NotImplementedError
+
+    def _on_message(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    def _start_protocol(self) -> None:
+        """Default: no periodic machinery."""
+
+    def _stop_protocol(self) -> None:
+        """Default: no periodic machinery."""
+
+    def _reset_protocol_state(self) -> None:
+        """Default: no protocol state beyond the delivery set."""

@@ -47,6 +47,7 @@ class FloodingNode:
         self.signer = directory.issue(node_id)
         self._behavior = behavior
         self._seq = 0
+        self._crashed = False
         self._seen: set = set()
         self.accepted: List[Tuple[float, int, MessageId]] = []
         self._accept_listeners: List[Callable[[int, int, bytes, MessageId],
@@ -65,11 +66,34 @@ class FloodingNode:
     def position(self) -> Position:
         return self.radio.position
 
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
     def start(self) -> None:
         """Flooding needs no periodic machinery; present for API parity."""
 
     def stop(self) -> None:
         """API parity with :class:`repro.core.NetworkNode`."""
+
+    def crash(self) -> None:
+        """Crash-fault the node (radio off).  Idempotent; same contract
+        as :class:`repro.core.NetworkNode` so chaos schedules and the
+        fuzzer drive every protocol alike."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.radio.power_off()
+
+    def restart(self, reset_state: bool = True) -> None:
+        """Bring a crashed node back; the sequence counter survives a
+        state wipe so a restarted node never reuses a message id."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        if reset_state:
+            self._seen = set()
+        self.radio.power_on()
 
     def add_accept_listener(self, listener) -> None:
         self._accept_listeners.append(listener)

@@ -148,6 +148,7 @@ class MultiOverlayNode:
         self._behavior = behavior
         self._memberships = tuple(overlay_memberships)
         self._seq = 0
+        self._crashed = False
         self._seen_copies: Set[Tuple[MessageId, int]] = set()
         self._accepted_ids: Set[MessageId] = set()
         self.accepted: List[Tuple[float, int, MessageId]] = []
@@ -170,11 +171,34 @@ class MultiOverlayNode:
     def overlay_count(self) -> int:
         return len(self._memberships)
 
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
     def start(self) -> None:
         """No periodic machinery; present for API parity."""
 
     def stop(self) -> None:
         """API parity with :class:`repro.core.NetworkNode`."""
+
+    def crash(self) -> None:
+        """Crash-fault the node (radio off).  Idempotent; same contract
+        as :class:`repro.core.NetworkNode`."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.radio.power_off()
+
+    def restart(self, reset_state: bool = True) -> None:
+        """Bring a crashed node back; the sequence counter survives a
+        state wipe so a restarted node never reuses a message id."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        if reset_state:
+            self._seen_copies = set()
+            self._accepted_ids = set()
+        self.radio.power_on()
 
     def add_accept_listener(self, listener) -> None:
         self._accept_listeners.append(listener)

@@ -48,6 +48,7 @@ class OverlayOnlyNode:
         self.signer = directory.issue(node_id)
         self._behavior = behavior
         self._seq = 0
+        self._crashed = False
         self._seen: set = set()
         self.accepted: List[Tuple[float, int, MessageId]] = []
         self._accept_listeners: List[Callable[[int, int, bytes, MessageId],
@@ -76,6 +77,10 @@ class OverlayOnlyNode:
     def position(self) -> Position:
         return self.radio.position
 
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
     def start(self) -> None:
         self.neighbors.start()
         self.overlay.start()
@@ -84,6 +89,26 @@ class OverlayOnlyNode:
         self.overlay.stop()
         self.neighbors.stop()
         self.trust.stop()
+
+    def crash(self) -> None:
+        """Crash-fault the node: radio off, periodic machinery halted.
+        Idempotent; same contract as :class:`repro.core.NetworkNode`."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.radio.power_off()
+        self.stop()
+
+    def restart(self, reset_state: bool = True) -> None:
+        """Bring a crashed node back; the sequence counter survives a
+        state wipe so a restarted node never reuses a message id."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        if reset_state:
+            self._seen = set()
+        self.radio.power_on()
+        self.start()
 
     def add_accept_listener(self, listener) -> None:
         self._accept_listeners.append(listener)

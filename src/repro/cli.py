@@ -3,9 +3,10 @@
 Commands
 --------
 ``run``       one experiment, full report
-``compare``   every protocol on the same scenario, one table
+``compare``   every paper-canonical protocol on the same scenario
 ``sweep``     sweep n or the mute count for one protocol
 ``experiments``  list the reconstructed paper experiments and their benches
+``arena``     protocol registry: list/run/compare every registered protocol
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from . import arena
 from .chaos import FaultSchedule, OracleConfig
 from .core.config import ProtocolConfig
 from .core.node import NodeStackConfig
@@ -148,7 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one experiment")
     add_scenario_args(run_p)
-    run_p.add_argument("--protocol", choices=PROTOCOLS, default="byzcast")
+    run_p.add_argument("--protocol", choices=arena.available_protocols(),
+                       default="byzcast")
 
     cmp_p = sub.add_parser("compare",
                            help="run every protocol on one scenario")
@@ -159,7 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_p = sub.add_parser("sweep", help="sweep one parameter")
     add_scenario_args(sweep_p)
-    sweep_p.add_argument("--protocol", choices=PROTOCOLS, default="byzcast")
+    sweep_p.add_argument("--protocol", choices=arena.available_protocols(),
+                         default="byzcast")
     sweep_p.add_argument("--param", choices=("n", "mute"), required=True)
     sweep_p.add_argument("--values", required=True,
                          help="comma-separated values, e.g. 20,40,60")
@@ -183,7 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="world size of the fuzzed target (default 10)")
         p.add_argument("--seed", type=int, default=3,
                        help="world seed of the fuzzed target (default 3)")
-        p.add_argument("--protocol", choices=PROTOCOLS, default="byzcast")
+        p.add_argument("--protocol", choices=arena.available_protocols(),
+                       default="byzcast")
         p.add_argument("--runner", choices=tuple(sorted(RUNNERS)),
                        default="experiment",
                        help="experiment runner; broken_* are planted-bug "
@@ -228,6 +233,37 @@ def build_parser() -> argparse.ArgumentParser:
     rp_p = fuzz_sub.add_parser(
         "replay", help="replay corpus reproducers and verify signatures")
     rp_p.add_argument("corpus", help="corpus directory or entry file")
+
+    arena_p = sub.add_parser(
+        "arena", help="protocol arena: list/run/compare every registered "
+                      "broadcast protocol")
+    arena_sub = arena_p.add_subparsers(dest="arena_command", required=True)
+
+    ls_p = arena_sub.add_parser(
+        "list", help="show every registered protocol and its stated claims")
+    ls_p.add_argument("--n", type=int, default=40,
+                      help="world size at which to evaluate each "
+                           "protocol's stated mute tolerance (default 40)")
+    ls_p.add_argument("--discover", action="store_true",
+                      help="also scan the 'repro.protocols' entry-point "
+                           "group for externally-installed protocols")
+
+    ar_p = arena_sub.add_parser(
+        "run", help="run one registered protocol (same knobs as "
+                    "`repro run`)")
+    add_scenario_args(ar_p)
+    ar_p.add_argument("--protocol", choices=arena.available_protocols(),
+                      required=True)
+
+    ac_p = arena_sub.add_parser(
+        "compare", help="run every registered protocol on one scenario")
+    add_scenario_args(ac_p)
+    ac_p.add_argument("--protocols", default=None,
+                      help="comma-separated subset (default: all "
+                           "registered)")
+    ac_p.add_argument("--workers", type=_worker_count, default=1,
+                      help="worker processes (results identical to "
+                           "serial; default 1)")
 
     trace_p = sub.add_parser(
         "trace", help="analyze an exported span trace (see --trace-out)")
@@ -460,6 +496,53 @@ def _fuzz_main(args: argparse.Namespace, out) -> int:
     raise AssertionError(f"unhandled fuzz command {args.fuzz_command!r}")
 
 
+def _arena_main(args: argparse.Namespace, out) -> int:
+    """The ``repro arena`` subcommand family (protocol registry)."""
+    if args.arena_command == "list":
+        if args.discover:
+            found = arena.load_entry_point_protocols()
+            if found:
+                print(f"discovered via entry points: {', '.join(found)}",
+                      file=out)
+        rows = []
+        for spec in arena.protocol_specs():
+            rows.append({
+                "protocol": spec.name,
+                "provenance": spec.provenance,
+                f"mute_tol(n={args.n})": spec.mute_tolerance(args.n),
+                "overlay": "yes" if spec.overlay else "-",
+                "tracing": "rich" if spec.rich_tracing else "basic",
+            })
+        print(format_rows(rows), file=out)
+        for spec in arena.protocol_specs():
+            if spec.description:
+                print(f"  {spec.name:<16}{spec.description}", file=out)
+        print("\nconformance: every protocol above inherits the "
+              "tests/arena/ suite (pytest -m arena)", file=out)
+        return 0
+
+    if args.arena_command == "run":
+        config = _config_from(args, args.protocol, _scenario_from(args))
+        result = run_experiment(config)
+        _print_report(result, out, oracle=config.oracle is not None)
+        return 0
+
+    if args.arena_command == "compare":
+        if args.protocols:
+            names = [name.strip() for name in args.protocols.split(",")]
+            for name in names:
+                arena.get_protocol(name)  # fail fast on typos
+        else:
+            names = arena.available_protocols()
+        configs = [_config_from(args, name, _scenario_from(args))
+                   for name in names]
+        results = run_many(configs, workers=args.workers)
+        print(format_rows([result.row() for result in results]), file=out)
+        return 0
+
+    raise AssertionError(f"unhandled arena command {args.arena_command!r}")
+
+
 def _trace_main(args: argparse.Namespace, out) -> int:
     """The ``repro trace`` subcommand family (span-trace analysis)."""
     if args.trace_command == "validate":
@@ -570,6 +653,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         print("\nrun one with: pytest benchmarks/<bench> "
               "--benchmark-only -s", file=out)
         return 0
+
+    if args.command == "arena":
+        return _arena_main(args, out)
 
     if args.command == "trace":
         return _trace_main(args, out)

@@ -26,12 +26,14 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator
 
+from ..arena.base import ArenaNode
 from ..core.node import NetworkNode
 from ..core.store import MessageStore
 from ..sim.experiment import ExperimentConfig, ExperimentResult, \
     run_experiment
 
-__all__ = ["RUNNERS", "runner", "run_broken_recovery", "run_broken_forge",
+__all__ = ["RUNNERS", "SABOTAGED_NODE_CLASSES", "runner",
+           "run_broken_recovery", "run_broken_forge",
            "run_broken_duplicate", "run_broken_purge"]
 
 #: Armed by the patched restart of the target node; read by the patched
@@ -39,56 +41,69 @@ __all__ = ["RUNNERS", "runner", "run_broken_recovery", "run_broken_forge",
 #: within a process, so a plain module flag suffices).
 _PURGE_GATE = {"armed": False}
 
+#: Node classes the planted bugs are wired into.  ``ArenaNode``
+#: deliberately mirrors ``NetworkNode``'s ``restart``/``_on_accept``
+#: seams, so patching the two bases sabotages the paper's stack *and*
+#: every arena rival (dolev/optflood/maurer_tixeuil) through one point —
+#: the fuzzer finds the same planted bodies whichever protocol it drives.
+SABOTAGED_NODE_CLASSES = (NetworkNode, ArenaNode)
+
 
 @contextmanager
 def _sabotaged(target: int, *, forge: bool, duplicate: bool,
                purge: bool) -> Iterator[None]:
     """Patch the stack so a restart of node ``target`` arms the bug."""
-    orig_restart = NetworkNode.restart
-    orig_accept = NetworkNode._on_accept
+    originals = [(cls, cls.restart, cls._on_accept)
+                 for cls in SABOTAGED_NODE_CLASSES]
     orig_purge = MessageStore.purge
     _PURGE_GATE["armed"] = False
 
-    def restart(self, reset_state=True):
-        was_crashed = self.crashed
-        orig_restart(self, reset_state=reset_state)
-        # Arm only on a *real* recovery: restart of a live node is a
-        # no-op upstream and must stay one here, so the minimal
-        # reproducer is genuinely the crash→restart pair.
-        if was_crashed and self.node_id == target:
-            self._fuzz_planted_broken = True
-            _PURGE_GATE["armed"] = True
+    def make_restart(orig_restart):
+        def restart(self, reset_state=True):
+            was_crashed = self.crashed
+            orig_restart(self, reset_state=reset_state)
+            # Arm only on a *real* recovery: restart of a live node is a
+            # no-op upstream and must stay one here, so the minimal
+            # reproducer is genuinely the crash→restart pair.
+            if was_crashed and self.node_id == target:
+                self._fuzz_planted_broken = True
+                _PURGE_GATE["armed"] = True
+        return restart
 
-    def accept(self, originator, payload, msg_id):
-        if not getattr(self, "_fuzz_planted_broken", False):
+    def make_accept(orig_accept):
+        def accept(self, originator, payload, msg_id):
+            if not getattr(self, "_fuzz_planted_broken", False):
+                orig_accept(self, originator, payload, msg_id)
+                return
+            if forge and not duplicate:
+                # Deliver once, corrupted: forged_payload alone.
+                orig_accept(self, originator,
+                            b"corrupt:" + bytes(payload), msg_id)
+                return
             orig_accept(self, originator, payload, msg_id)
-            return
-        if forge and not duplicate:
-            # Deliver once, corrupted: forged_payload without a duplicate.
-            orig_accept(self, originator, b"corrupt:" + bytes(payload),
-                        msg_id)
-            return
-        orig_accept(self, originator, payload, msg_id)
-        if duplicate:
-            second = (b"corrupt:" + bytes(payload) if forge
-                      else bytes(payload))
-            orig_accept(self, originator, second, msg_id)
+            if duplicate:
+                second = (b"corrupt:" + bytes(payload) if forge
+                          else bytes(payload))
+                orig_accept(self, originator, second, msg_id)
+        return accept
 
     def broken_purge(self, now, timeout):
         if _PURGE_GATE["armed"]:
             return []
         return orig_purge(self, now, timeout)
 
-    NetworkNode.restart = restart
-    if forge or duplicate:
-        NetworkNode._on_accept = accept
+    for cls, orig_restart, orig_accept in originals:
+        cls.restart = make_restart(orig_restart)
+        if forge or duplicate:
+            cls._on_accept = make_accept(orig_accept)
     if purge:
         MessageStore.purge = broken_purge
     try:
         yield
     finally:
-        NetworkNode.restart = orig_restart
-        NetworkNode._on_accept = orig_accept
+        for cls, orig_restart, orig_accept in originals:
+            cls.restart = orig_restart
+            cls._on_accept = orig_accept
         MessageStore.purge = orig_purge
         _PURGE_GATE["armed"] = False
 

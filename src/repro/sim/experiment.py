@@ -6,13 +6,19 @@ network, injects a broadcast workload, and returns an
 reports (delivery ratio, latency, overhead by packet type, overlay
 quality).
 
-Protocols:
+Protocols come from the :mod:`repro.arena` registry.  The repo ships:
 
-* ``"byzcast"``       — the paper's protocol (overlay + gossip + recovery
+* ``"byzcast"``        — the paper's protocol (overlay + gossip + recovery
   + failure detectors);
-* ``"flooding"``      — plain signed flooding;
-* ``"overlay_only"``  — one overlay, no gossip/recovery;
-* ``"multi_overlay"`` — the f+1 node-independent-overlays baseline.
+* ``"flooding"``       — plain signed flooding;
+* ``"overlay_only"``   — one overlay, no gossip/recovery;
+* ``"multi_overlay"``  — the f+1 node-independent-overlays baseline;
+* ``"dolev"``          — Dolev path-tracking reliable broadcast;
+* ``"optflood"``       — counter-suppressed optimized flooding;
+* ``"maurer_tixeuil"`` — CPA-style loosely-connected broadcast;
+
+plus anything registered via :func:`repro.arena.register_protocol` (or
+the ``repro.protocols`` entry-point group) before the config is built.
 """
 
 from __future__ import annotations
@@ -24,12 +30,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from ..adversary.policies import make_behavior
-from ..baselines.flooding import FloodingNode
-from ..baselines.multi_overlay import (
-    MultiOverlayNode,
-    build_independent_overlays,
-)
-from ..baselines.overlay_only import OverlayOnlyNode
+from .. import arena
 from ..chaos import (
     ChaosController,
     FaultSchedule,
@@ -38,14 +39,13 @@ from ..chaos import (
 )
 from .. import profiling
 from ..core.messages import MessageId
-from ..core.node import NetworkNode, NodeStackConfig
+from ..core.node import NodeStackConfig
 from ..crypto.keystore import DsaScheme, HmacScheme, KeyDirectory
 from ..des.kernel import Simulator
 from ..des.random import StreamFactory
 from ..metrics.collector import MetricsCollector
 from ..mobility.placement import (
     connected_uniform_positions,
-    connectivity_graph,
     grid_positions,
     line_positions,
 )
@@ -75,6 +75,8 @@ __all__ = ["ExperimentConfig", "ExperimentResult", "ExperimentWorld",
            "run_experiment", "resume_experiment", "build_world",
            "finish_world", "run_many", "PROTOCOLS", "SCHEMES"]
 
+#: The paper-canonical protocol set (kept for back-compat with pre-arena
+#: callers); the authoritative list is ``repro.arena.available_protocols()``.
 PROTOCOLS = ("byzcast", "flooding", "overlay_only", "multi_overlay")
 
 SCHEMES = ("hmac", "dsa")
@@ -119,9 +121,10 @@ class ExperimentConfig:
     observe: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
-        if self.protocol not in PROTOCOLS:
+        if not arena.is_registered(self.protocol):
             raise ValueError(
-                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}")
+                f"unknown protocol {self.protocol!r}; choose from "
+                f"{tuple(arena.available_protocols())}")
         if self.signature_scheme not in SCHEMES:
             raise ValueError(
                 f"unknown scheme {self.signature_scheme!r}; "
@@ -433,7 +436,7 @@ def _build_observability(config: ExperimentConfig, sim: Simulator, nodes,
     recorder = TraceRecorder(sim,
                              categories=observe.categories or OBS_CATEGORIES)
     recorder.attach_medium(medium)
-    if config.protocol == "byzcast":
+    if arena.get_protocol(config.protocol).rich_tracing:
         for node in nodes:
             recorder.attach_node(node)
     if controller is not None:
@@ -649,39 +652,22 @@ def _build_nodes(config: ExperimentConfig, sim: Simulator, medium: Medium,
         node_id: make_behavior(kind, streams.stream(f"behavior:{node_id}"))
         for node_id, kind in assignment.items()
     }
-    if config.protocol == "byzcast":
-        return [NetworkNode(sim, medium, i, positions[i], scenario.tx_range,
-                            streams, directory, config.stack,
-                            behavior=behaviors.get(i))
-                for i in range(scenario.n)]
-    if config.protocol == "flooding":
-        return [FloodingNode(sim, medium, i, positions[i], scenario.tx_range,
-                             streams, directory, config.stack.mac,
-                             behavior=behaviors.get(i))
-                for i in range(scenario.n)]
-    if config.protocol == "overlay_only":
-        return [OverlayOnlyNode(sim, medium, i, positions[i],
-                                scenario.tx_range, streams, directory,
-                                config.stack.mac,
-                                overlay_rule=config.stack.overlay_rule,
-                                hello_period=config.stack.hello_period,
-                                behavior=behaviors.get(i))
-                for i in range(scenario.n)]
-    # multi_overlay
-    graph = connectivity_graph(positions, scenario.tx_range)
-    count = config.overlay_count or max(1, len(assignment)) + 1
-    overlays = build_independent_overlays(graph, count)
-    return [MultiOverlayNode(
-        sim, medium, i, positions[i], scenario.tx_range, streams,
-        directory,
-        overlay_memberships=[i in overlay for overlay in overlays],
-        mac_config=config.stack.mac, behavior=behaviors.get(i))
-        for i in range(scenario.n)]
+    spec = arena.get_protocol(config.protocol)
+    context = arena.BuildContext(
+        config=config, sim=sim, medium=medium, positions=positions,
+        streams=streams, directory=directory, assignment=assignment,
+        behaviors=behaviors)
+    nodes = spec.factory(context)
+    if len(nodes) != scenario.n:
+        raise RuntimeError(
+            f"protocol {config.protocol!r} built {len(nodes)} nodes "
+            f"for an n={scenario.n} scenario")
+    return nodes
 
 
 def _overlay_snapshot(config: ExperimentConfig, nodes, scenario,
                       correct: set) -> Optional[OverlayQuality]:
-    if config.protocol not in ("byzcast", "overlay_only"):
+    if not arena.get_protocol(config.protocol).overlay:
         return None
     positions = {node.node_id: node.position for node in nodes}
     members = {node.node_id for node in nodes if node.overlay.in_overlay}

@@ -1,0 +1,8 @@
+"""Cross-protocol conformance harness for the protocol arena.
+
+Every protocol registered in :mod:`repro.arena` — the paper's stack, the
+baselines, and the rival broadcast protocols — is run through one shared
+parametrized suite: safety invariants, liveness at each protocol's
+declared fault threshold, the determinism matrix, and chaos/fuzz
+integration.  Registering a protocol buys the whole suite for free.
+"""

@@ -1,0 +1,71 @@
+"""Differential testing: rival protocols as cross-checking oracles.
+
+On a fault-free world every correct broadcast protocol must compute the
+same function — deliver every payload to every node.  Running two
+independent implementations on the *identical* scenario and comparing
+delivered payload sets node-for-node catches bugs a single-protocol
+oracle cannot: a protocol that consistently drops (or invents) the same
+message everywhere looks internally coherent, but disagrees with its
+rival.
+
+The anchor pair is the paper's stack vs signed flooding on E2's
+fault-free workload shape (scaled to the conformance world size); the
+sweep then pins every other registered rival against flooding.
+"""
+
+import pytest
+
+import repro.arena as arena
+from repro.sim import build_world, finish_world
+
+from tests.arena.conftest import FAULT_FREE_SEED, N, arena_config
+
+pytestmark = pytest.mark.arena
+
+#: E2's workload shape (benchmarks/test_e2_delivery_vs_n.py), shrunk to
+#: the conformance world: fault-free, several spaced broadcasts, long
+#: drain.
+E2_WORKLOAD = dict(message_count=4, message_interval=1.0)
+
+
+def delivered_payloads(protocol: str, **overrides):
+    """{node_id: {(msg_id, payload), ...}} plus each node's own sends."""
+    config = arena_config(protocol, seed=FAULT_FREE_SEED, **overrides)
+    world = build_world(config)
+    seen = {node.node_id: set() for node in world.nodes}
+
+    for node in world.nodes:
+        node.add_accept_listener(
+            lambda node_id, originator, payload, msg_id:
+            seen[node_id].add((msg_id, bytes(payload))))
+    finish_world(world)
+    return seen
+
+
+def assert_same_delivery(left: str, right: str, **overrides):
+    ours = delivered_payloads(left, **overrides)
+    theirs = delivered_payloads(right, **overrides)
+    assert set(ours) == set(theirs)
+    for node_id in ours:
+        assert ours[node_id] == theirs[node_id], (
+            f"node {node_id}: {left} and {right} disagree on the "
+            f"delivered payload set")
+    # A broadcaster does not re-deliver its own message, so the union
+    # across nodes must cover message_count broadcasts at n-1 receivers.
+    messages = {msg_id for per_node in ours.values()
+                for msg_id, _ in per_node}
+    assert len(messages) == E2_WORKLOAD["message_count"]
+    assert sum(len(per_node) for per_node in ours.values()) == \
+        len(messages) * (N - 1)
+
+
+def test_byzcast_flooding_agree_on_e2_fault_free():
+    """The satellite anchor: paper protocol vs flooding, node for node."""
+    assert_same_delivery("byzcast", "flooding", **E2_WORKLOAD)
+
+
+@pytest.mark.parametrize("rival", [name for name
+                                   in arena.available_protocols()
+                                   if name != "flooding"])
+def test_every_rival_agrees_with_flooding(rival):
+    assert_same_delivery(rival, "flooding", **E2_WORKLOAD)

@@ -132,13 +132,18 @@ SWAPPABLE_BEHAVIORS = ("mute", "forging", "selective_drop", "gossip_liar",
                       "deaf", "limited_send")
 
 
-def fault_events(n: int, horizon: float = 6.0):
+def fault_events(n: int, horizon: float = 6.0, *,
+                 include_attackers: bool = True):
     """Strategy yielding one arbitrary :class:`repro.chaos.FaultEvent`.
 
     Every generated event is valid in *any* order against a byzcast
     network of ``n`` nodes: restarts of never-crashed nodes and stops of
     never-started attackers are no-ops by design, so no cross-event
     constraints are needed.
+
+    ``include_attackers=False`` drops ``attacker_start`` events, which
+    need the full byzcast stack (``node.protocol``) — use it when the
+    schedule targets arbitrary arena protocols.
     """
     from hypothesis import strategies as st
 
@@ -157,7 +162,7 @@ def fault_events(n: int, horizon: float = 6.0):
             times, nodes,
             st.fixed_dictionaries(params) if params else st.just({}))
 
-    return st.one_of(
+    choices = [
         event("mute"),
         event("recover"),
         event("crash"),
@@ -169,16 +174,22 @@ def fault_events(n: int, horizon: float = 6.0):
             min_value=0.3, max_value=1.0,
             allow_subnormal=False).map(lambda f: round(f, 2))}),
         event("behavior", {"kind": st.sampled_from(SWAPPABLE_BEHAVIORS)}),
-        event("attacker_start", {"kind": st.sampled_from(ATTACKER_KINDS),
-                                 "rate_hz": st.sampled_from([2.0, 5.0])}),
-    )
+    ]
+    if include_attackers:
+        choices.append(
+            event("attacker_start", {"kind": st.sampled_from(ATTACKER_KINDS),
+                                     "rate_hz": st.sampled_from([2.0, 5.0])}))
+    return st.one_of(*choices)
 
 
-def fault_schedules(n: int, horizon: float = 6.0, max_events: int = 6):
+def fault_schedules(n: int, horizon: float = 6.0, max_events: int = 6, *,
+                    include_attackers: bool = True):
     """Strategy yielding an arbitrary :class:`repro.chaos.FaultSchedule`."""
     from hypothesis import strategies as st
 
     from repro.chaos import FaultSchedule
 
-    return st.lists(fault_events(n, horizon), max_size=max_events).map(
-        lambda events: FaultSchedule(events=tuple(events)))
+    return st.lists(
+        fault_events(n, horizon, include_attackers=include_attackers),
+        max_size=max_events,
+    ).map(lambda events: FaultSchedule(events=tuple(events)))

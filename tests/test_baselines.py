@@ -1,39 +1,51 @@
-"""Tests for the comparison baselines."""
+"""Tests for the comparison baselines.
+
+Node populations are built **through the arena registry** — the same
+``ProtocolSpec.factory`` path the experiment runner uses — so these
+tests pin the wiring users actually get (stack config plumbing, per-node
+streams, behavior injection), not a parallel hand-rolled construction.
+Pure-graph helpers (CDS construction) keep direct unit tests.
+"""
 
 import networkx as nx
 import pytest
 
+import repro.arena as arena
 from repro.adversary.behaviors import MuteBehavior
-from repro.baselines.flooding import FloodingNode
 from repro.baselines.multi_overlay import (
-    MultiOverlayNode,
     build_independent_overlays,
     greedy_connected_dominating_set,
 )
-from repro.baselines.overlay_only import OverlayOnlyNode
 from repro.crypto.keystore import HmacScheme, KeyDirectory
 from repro.des.kernel import Simulator
 from repro.des.random import StreamFactory
 from repro.mobility.placement import connectivity_graph
 from repro.radio.geometry import Position
 from repro.radio.medium import Medium
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.scenarios import ScenarioConfig
 
 from tests.helpers import line_coords
 
 
-def build_baseline(node_cls, coords, tx_range=100.0, seed=2, **extra):
+def build_baseline(protocol, coords, tx_range=100.0, seed=2,
+                   behaviors=None, **config_extra):
+    """Build a hand-placed world through the registered factory."""
+    coords = list(coords)
     sim = Simulator()
     streams = StreamFactory(seed)
     medium = Medium(sim, streams.stream("medium"))
     directory = KeyDirectory(HmacScheme(seed=b"base"))
-    nodes = []
-    for node_id, (x, y) in enumerate(coords):
-        kwargs = dict(extra)
-        if "per_node" in kwargs:
-            per_node = kwargs.pop("per_node")
-            kwargs.update(per_node(node_id))
-        nodes.append(node_cls(sim, medium, node_id, Position(x, y),
-                              tx_range, streams, directory, **kwargs))
+    config = ExperimentConfig(
+        scenario=ScenarioConfig(n=len(coords), seed=seed,
+                                tx_range=tx_range),
+        protocol=protocol, **config_extra)
+    context = arena.BuildContext(
+        config=config, sim=sim, medium=medium,
+        positions=[Position(*c) for c in coords],
+        streams=streams, directory=directory,
+        assignment={}, behaviors=behaviors or {})
+    nodes = arena.get_protocol(protocol).factory(context)
     for node in nodes:
         node.start()
     return sim, medium, nodes
@@ -48,19 +60,19 @@ def all_received(nodes, msg_id, exclude=()):
 
 class TestFlooding:
     def test_full_delivery_on_line(self):
-        sim, medium, nodes = build_baseline(FloodingNode, line_coords(5, 80))
+        sim, medium, nodes = build_baseline("flooding", line_coords(5, 80))
         msg_id = nodes[0].broadcast(b"flood")
         sim.run(until=10.0)
         assert all_received(nodes, msg_id)
 
     def test_every_node_transmits_once(self):
-        sim, medium, nodes = build_baseline(FloodingNode, line_coords(5, 80))
+        sim, medium, nodes = build_baseline("flooding", line_coords(5, 80))
         nodes[0].broadcast(b"flood")
         sim.run(until=10.0)
         assert medium.stats.by_kind["data"] == 5  # n transmissions
 
     def test_duplicates_suppressed(self):
-        sim, medium, nodes = build_baseline(FloodingNode, line_coords(3, 80))
+        sim, medium, nodes = build_baseline("flooding", line_coords(3, 80))
         msg_id = nodes[0].broadcast(b"flood")
         sim.run(until=10.0)
         for node in nodes:
@@ -68,7 +80,7 @@ class TestFlooding:
 
     def test_forged_message_not_accepted(self):
         from repro.core.messages import DataMessage, MessageId
-        sim, medium, nodes = build_baseline(FloodingNode, line_coords(3, 80))
+        sim, medium, nodes = build_baseline("flooding", line_coords(3, 80))
         genuine = DataMessage.create(nodes[0].signer, 1, b"x")
         forged = DataMessage(msg_id=MessageId(0, 1), payload=b"EVIL",
                              signature=genuine.signature)
@@ -78,8 +90,8 @@ class TestFlooding:
 
     def test_mute_behavior_blocks_line(self):
         sim, medium, nodes = build_baseline(
-            FloodingNode, line_coords(4, 80),
-            per_node=lambda i: {"behavior": MuteBehavior()} if i == 1 else {})
+            "flooding", line_coords(4, 80),
+            behaviors={1: MuteBehavior()})
         msg_id = nodes[0].broadcast(b"flood")
         sim.run(until=10.0)
         assert not any(rec[2] == msg_id for rec in nodes[2].accepted)
@@ -87,7 +99,7 @@ class TestFlooding:
 
 class TestOverlayOnly:
     def test_failure_free_delivery(self):
-        sim, medium, nodes = build_baseline(OverlayOnlyNode,
+        sim, medium, nodes = build_baseline("overlay_only",
                                             line_coords(5, 80))
         sim.run(until=8.0)  # overlay warmup
         msg_id = nodes[0].broadcast(b"overlay")
@@ -96,7 +108,7 @@ class TestOverlayOnly:
 
     def test_cheaper_than_flooding(self):
         coords = [(x * 60.0, y * 60.0) for x in range(3) for y in range(3)]
-        sim, medium, nodes = build_baseline(OverlayOnlyNode, coords)
+        sim, medium, nodes = build_baseline("overlay_only", coords)
         sim.run(until=8.0)
         nodes[0].broadcast(b"overlay")
         sim.run(until=sim.now + 10.0)
@@ -107,8 +119,8 @@ class TestOverlayOnly:
         # On a line every interior overlay node is a cut vertex: muting one
         # partitions dissemination and there is no recovery path.
         sim, medium, nodes = build_baseline(
-            OverlayOnlyNode, line_coords(5, 80),
-            per_node=lambda i: {"behavior": MuteBehavior()} if i == 2 else {})
+            "overlay_only", line_coords(5, 80),
+            behaviors={2: MuteBehavior()})
         sim.run(until=8.0)
         msg_id = nodes[0].broadcast(b"doomed")
         sim.run(until=sim.now + 15.0)
@@ -150,15 +162,27 @@ class TestCdsConstruction:
         with pytest.raises(ValueError):
             build_independent_overlays(nx.path_graph(3), 0)
 
+    # ---- n < 3 edge cases: tiny graphs still admit overlays ----------
+    def test_single_node_graph(self):
+        graph = nx.complete_graph(1)
+        overlays = build_independent_overlays(graph, 2)
+        assert overlays == [{0}, {0}]
+
+    def test_two_node_graph(self):
+        graph = nx.path_graph(2)
+        overlays = build_independent_overlays(graph, 2)
+        assert len(overlays) == 2
+        for overlay in overlays:
+            assert overlay <= {0, 1}
+            for node in graph.nodes:
+                assert node in overlay or any(m in overlay
+                                              for m in graph[node])
+
 
 class TestMultiOverlay:
-    def build(self, coords, count=2, tx_range=100.0):
-        graph = connectivity_graph([Position(*c) for c in coords], tx_range)
-        overlays = build_independent_overlays(graph, count)
-        return build_baseline(
-            MultiOverlayNode, coords, tx_range,
-            per_node=lambda i: {"overlay_memberships":
-                                [i in o for o in overlays]})
+    def build(self, coords, count=2, behaviors=None):
+        return build_baseline("multi_overlay", coords,
+                              behaviors=behaviors, overlay_count=count)
 
     def test_full_delivery(self):
         sim, medium, nodes = self.build(line_coords(5, 80))
@@ -168,6 +192,7 @@ class TestMultiOverlay:
 
     def test_originator_sends_one_copy_per_overlay(self):
         sim, medium, nodes = self.build(line_coords(4, 80), count=3)
+        assert all(node.overlay_count == 3 for node in nodes)
         nodes[0].broadcast(b"multi")
         # Before anyone forwards: exactly 3 copies queued by the source.
         assert nodes[0].radio.mac.stats.enqueued == 3
@@ -184,6 +209,8 @@ class TestMultiOverlay:
         # (top row / bottom row); muting a node that only overlay 0 uses
         # leaves the overlay-1 copy intact.  (On a bare line disjoint
         # overlays do not exist — the known limit of this baseline.)
+        # The victim is predicted by rebuilding the same overlays the
+        # registered factory computes from the connectivity graph.
         coords = ([(x * 70.0, 0.0) for x in range(4)]
                   + [(x * 70.0, 60.0) for x in range(4)])
         graph = connectivity_graph([Position(*c) for c in coords], 100.0)
@@ -192,11 +219,24 @@ class TestMultiOverlay:
         if not candidates:
             pytest.skip("greedy construction found no disjoint member")
         victim = min(candidates)
-        sim, medium, nodes = build_baseline(
-            MultiOverlayNode, coords,
-            per_node=lambda i: {
-                "overlay_memberships": [i in o for o in overlays],
-                **({"behavior": MuteBehavior()} if i == victim else {})})
+        sim, medium, nodes = self.build(
+            coords, count=2, behaviors={victim: MuteBehavior()})
         msg_id = nodes[0].broadcast(b"multi")
         sim.run(until=10.0)
         assert all_received(nodes, msg_id, exclude={victim})
+
+    # ---- n < 3 edge cases through the registered factory -------------
+    def test_two_node_world_delivers(self):
+        sim, medium, nodes = self.build([(0.0, 0.0), (50.0, 0.0)],
+                                        count=2)
+        assert len(nodes) == 2
+        msg_id = nodes[0].broadcast(b"tiny")
+        sim.run(until=10.0)
+        assert all_received(nodes, msg_id)
+
+    def test_two_node_world_default_overlay_count(self):
+        # No explicit overlay_count and no declared adversaries: the
+        # factory still builds f+1 = 2 overlays on the 2-node graph.
+        sim, medium, nodes = build_baseline(
+            "multi_overlay", [(0.0, 0.0), (50.0, 0.0)])
+        assert all(node.overlay_count == 2 for node in nodes)
