@@ -1,10 +1,24 @@
-"""Medium-scaling micro-benchmark: spatial grid vs all-radios scan.
+"""Medium-scaling micro-benchmark: brute scan vs spatial grid vs numpy.
 
-Isolates the physical layer: n radios uniformly placed at paper density,
-a fixed batch of transmissions resolved to completion, timed with the
-grid index on (the default) and off (the seed's brute-force scan).  The
-grid must deliver >= 3x at n=500 while producing identical MediumStats —
-the before/after record lands in ``benchmarks/results/``.
+Isolates the physical layer: n radios uniformly placed, a fixed batch of
+transmissions resolved to completion, timed on each backend.  Two
+regimes:
+
+* **Constant degree** (the sweep benchmarks' regime): the field grows
+  with n so mean degree stays ~8.  Here the grid's cell query already
+  makes per-completion work O(degree), so the grid dominates the brute
+  scan (>= 3x at n=500) and the vectorized medium matches the grid.
+* **Fixed field** (the paper's own SWANS setting, and E12's): the field
+  is frozen at the n=100 / degree-9 size while n grows, so density —
+  and with it the per-completion candidate count — grows linearly.
+  This is where mask arithmetic beats the scalar per-candidate walk:
+  the vectorized medium must be >= 5x faster than the grid at n=2000.
+
+Every timed pair also asserts identical ``MediumStats`` — the backends
+are pinned bit-for-bit equivalent (tests/test_medium_grid_equivalence.py
+and tests/test_vectorized_medium.py), so a stats mismatch here means the
+benchmark is timing different physics.  The before/after record lands in
+``benchmarks/results/``.
 """
 
 import random
@@ -16,23 +30,43 @@ from repro.radio.geometry import Position
 from repro.radio.medium import Medium
 from repro.radio.packet import Packet
 from repro.radio.propagation import UnitDisk
+from repro.radio.vectorized import VectorizedMedium
 from repro.workloads.scenarios import area_side_for_degree
 
 from common import emit, once
 
 NS = (100, 250, 500)
+DENSE_NS = (500, 1000, 2000)
 TX_RANGE = 100.0
 TARGET_DEGREE = 8.0
+#: Fixed-field regime: the n=100 / degree-9 field of E12, frozen while
+#: n grows (degree ~9 at n=100 -> ~180 at n=2000).
+DENSE_SIDE = area_side_for_degree(100, TX_RANGE, 9.0)
 TRANSMISSIONS = 400
 
+MEDIUM_KINDS = {
+    "grid": lambda sim, rng: Medium(sim, rng, UnitDisk(), use_grid=True),
+    "brute": lambda sim, rng: Medium(sim, rng, UnitDisk(), use_grid=False),
+    "vectorized": lambda sim, rng: VectorizedMedium(sim, rng, UnitDisk()),
+}
 
-def run_physics(n, use_grid, seed=1):
-    """Resolve a fixed transmission batch; return (seconds, stats)."""
+
+def run_physics(n, kind, seed=1, side=None, gap=0.01):
+    """Resolve a fixed transmission batch; return (seconds, stats).
+
+    ``kind`` is a :data:`MEDIUM_KINDS` key (bools select grid/brute for
+    backwards compatibility).  ``side`` overrides the constant-degree
+    field size; ``gap`` is the max inter-transmission spacing.
+    """
+    if kind is True:
+        kind = "grid"
+    elif kind is False:
+        kind = "brute"
     rng = random.Random(seed)
-    side = area_side_for_degree(n, TX_RANGE, TARGET_DEGREE)
+    if side is None:
+        side = area_side_for_degree(n, TX_RANGE, TARGET_DEGREE)
     sim = Simulator()
-    medium = Medium(sim, RandomStream(seed), UnitDisk(),
-                    use_grid=use_grid)
+    medium = MEDIUM_KINDS[kind](sim, RandomStream(seed))
     positions = [Position(rng.uniform(0, side), rng.uniform(0, side))
                  for _ in range(n)]
     for i in range(n):
@@ -40,7 +74,7 @@ def run_physics(n, use_grid, seed=1):
                       lambda packet: None)
     t = 0.0
     for _ in range(TRANSMISSIONS):
-        t += rng.uniform(0.0, 0.01)
+        t += rng.uniform(0.0, gap)
         sim.schedule_at(t, medium.transmit, rng.randrange(n),
                         Packet(sender=0, payload=None, size_bytes=125,
                                kind="data"))
@@ -49,17 +83,52 @@ def run_physics(n, use_grid, seed=1):
     return time.perf_counter() - start, medium.stats
 
 
+def _best_of(runs, n, kind, **kwargs):
+    """Best wall time over ``runs`` repeats (stats from the last run —
+    they are identical every time by construction)."""
+    best, stats = run_physics(n, kind, **kwargs)
+    for _ in range(runs - 1):
+        seconds, stats = run_physics(n, kind, **kwargs)
+        best = min(best, seconds)
+    return best, stats
+
+
 def run_comparison():
     rows = []
     for n in NS:
-        grid_s, grid_stats = run_physics(n, use_grid=True)
-        brute_s, brute_stats = run_physics(n, use_grid=False)
-        assert grid_stats == brute_stats  # same physics, bit for bit
+        grid_s, grid_stats = run_physics(n, "grid")
+        brute_s, brute_stats = run_physics(n, "brute")
+        vec_s, vec_stats = run_physics(n, "vectorized")
+        # Same physics, bit for bit.
+        assert grid_stats == brute_stats == vec_stats
         rows.append({
             "n": n,
             "grid_ms": round(grid_s * 1e3, 1),
             "scan_ms": round(brute_s * 1e3, 1),
+            "vec_ms": round(vec_s * 1e3, 1),
             "speedup": round(brute_s / grid_s, 2),
+            "vec_speedup": round(brute_s / vec_s, 2),
+            "deliveries": grid_stats.deliveries,
+            "collisions": grid_stats.collisions,
+        })
+    return rows
+
+
+def run_dense_comparison():
+    rows = []
+    for n in DENSE_NS:
+        runs = 2 if n >= 2000 else 1
+        grid_s, grid_stats = _best_of(runs, n, "grid", side=DENSE_SIDE)
+        vec_s, vec_stats = _best_of(runs, n, "vectorized",
+                                    side=DENSE_SIDE)
+        assert grid_stats == vec_stats  # same physics, bit for bit
+        degree = 3.14159 * TX_RANGE ** 2 * n / DENSE_SIDE ** 2
+        rows.append({
+            "n": n,
+            "degree": round(degree, 1),
+            "grid_ms": round(grid_s * 1e3, 1),
+            "vec_ms": round(vec_s * 1e3, 1),
+            "speedup": round(grid_s / vec_s, 2),
             "deliveries": grid_stats.deliveries,
             "collisions": grid_stats.collisions,
         })
@@ -69,7 +138,7 @@ def run_comparison():
 def test_medium_scaling(benchmark):
     rows = once(benchmark, run_comparison)
     emit("medium_scaling",
-         "Medium scaling: spatial grid vs all-radios scan "
+         "Medium scaling: brute scan vs grid vs vectorized "
          f"({TRANSMISSIONS} transmissions, degree {TARGET_DEGREE:.0f})",
          rows)
     by_n = {row["n"]: row for row in rows}
@@ -77,3 +146,19 @@ def test_medium_scaling(benchmark):
     assert by_n[500]["speedup"] >= 3.0
     # The win must grow with n (that's the whole point of the index).
     assert by_n[500]["speedup"] > by_n[100]["speedup"]
+    # At constant degree the vectorized medium must at least keep pace
+    # with the scan; its own regime is the dense benchmark below.
+    assert by_n[500]["vec_speedup"] >= 1.0
+
+
+def test_medium_scaling_dense(benchmark):
+    rows = once(benchmark, run_dense_comparison)
+    emit("medium_scaling_dense",
+         "Medium scaling, fixed field (paper regime): grid vs vectorized "
+         f"({TRANSMISSIONS} transmissions, side {DENSE_SIDE:.0f}m)",
+         rows)
+    by_n = {row["n"]: row for row in rows}
+    # Acceptance: >= 5x at n=2000 in the paper's fixed-field regime.
+    assert by_n[2000]["speedup"] >= 5.0
+    # The win must grow with density.
+    assert by_n[2000]["speedup"] > by_n[500]["speedup"]

@@ -86,6 +86,12 @@ def build_multi_overlay(ctx: BuildContext) -> List[MultiOverlayNode]:
 # ----------------------------------------------------------------------
 # Rival protocols from the literature
 # ----------------------------------------------------------------------
+def _knob(ctx: BuildContext, name: str):
+    """A rival-knob override from ``config.rivals``, or None."""
+    rivals = getattr(ctx.config, "rivals", None)
+    return getattr(rivals, name, None) if rivals is not None else None
+
+
 def build_dolev(ctx: BuildContext) -> List[DolevNode]:
     """Dolev path-tracking broadcast, sized to the declared fault budget.
 
@@ -94,10 +100,13 @@ def build_dolev(ctx: BuildContext) -> List[DolevNode]:
     connectivity Dolev's rule needs, so stricter settings only trade
     liveness for already-signature-guaranteed safety).  Fault-free runs
     get ``paths_required = 1`` — single-path delivery with provenance
-    tracking.
+    tracking.  ``config.rivals.paths_required`` overrides the derivation
+    (``repro sweep --param paths_required`` drives it).
     """
     scenario = ctx.config.scenario
-    required = min(len(ctx.assignment) + 1, 3)
+    required = _knob(ctx, "paths_required")
+    if required is None:
+        required = min(len(ctx.assignment) + 1, 3)
     return [DolevNode(ctx.sim, ctx.medium, i, ctx.positions[i],
                       scenario.tx_range, ctx.streams, ctx.directory,
                       mac_config=ctx.config.stack.mac,
@@ -109,13 +118,18 @@ def build_dolev(ctx: BuildContext) -> List[DolevNode]:
 
 def build_optflood(ctx: BuildContext) -> List[OptFloodNode]:
     """Counter-suppressed optimized flooding (per-node suppression RNG
-    drawn from the named stream ``optflood:<id>``)."""
+    drawn from the named stream ``optflood:<id>``).
+    ``config.rivals.suppression_threshold`` overrides the default of 3."""
     scenario = ctx.config.scenario
+    threshold = _knob(ctx, "suppression_threshold")
+    if threshold is None:
+        threshold = 3
     return [OptFloodNode(ctx.sim, ctx.medium, i, ctx.positions[i],
                          scenario.tx_range, ctx.streams, ctx.directory,
                          mac_config=ctx.config.stack.mac,
                          behavior=ctx.behaviors.get(i),
-                         rng=ctx.streams.stream(f"optflood:{i}"))
+                         rng=ctx.streams.stream(f"optflood:{i}"),
+                         suppression_threshold=threshold)
             for i in range(scenario.n)]
 
 
@@ -123,9 +137,12 @@ def build_maurer_tixeuil(ctx: BuildContext) -> List[MaurerTixeuilNode]:
     """Maurer–Tixeuil CPA broadcast with the local fault parameter ``k``
     set to 1 whenever the scenario declares any Byzantine presence
     (each node then needs two vouching neighbours or a source link),
-    0 — flooding-equivalent acceptance — otherwise."""
+    0 — flooding-equivalent acceptance — otherwise.
+    ``config.rivals.cpa_k`` overrides the derivation."""
     scenario = ctx.config.scenario
-    k = 1 if ctx.assignment else 0
+    k = _knob(ctx, "cpa_k")
+    if k is None:
+        k = 1 if ctx.assignment else 0
     return [MaurerTixeuilNode(ctx.sim, ctx.medium, i, ctx.positions[i],
                               scenario.tx_range, ctx.streams, ctx.directory,
                               mac_config=ctx.config.stack.mac,

@@ -33,8 +33,11 @@ from .obs import (
 )
 from .sim.checkpoint import CheckpointConfig
 from .sim.experiment import (
+    MEDIA,
     PROTOCOLS,
+    TIERS,
     ExperimentConfig,
+    RivalKnobs,
     run_experiment,
     run_many,
 )
@@ -57,6 +60,8 @@ _EXPERIMENTS = (
     ("E10", "analysis bounds (Thm 3.4)", "test_e10_analysis_bounds.py"),
     ("E11", "delivery under mobility", "test_e11_mobility.py"),
     ("E12", "hundred-node scale + energy", "test_e12_scale_energy.py"),
+    ("E12X", "two-tier scale curve: packet 5k, fluid 100k",
+     "test_e12_extended_scale.py"),
     ("E13", "mid-run mute onset vs permanent mute", "test_e13_midrun_mute.py"),
     ("A1", "gossip period trade-off", "test_a1_gossip_period.py"),
     ("A2", "FIND TTL 1 vs 2", "test_a2_find_ttl.py"),
@@ -66,6 +71,14 @@ _EXPERIMENTS = (
     ("A6", "timeout vs stability purging", "test_a6_stability_purge.py"),
     ("A7", "verified-signature cache", "test_a7_verify_cache.py"),
 )
+
+
+#: Sweepable rival-protocol knobs: ``--param`` name -> RivalKnobs field.
+_RIVAL_PARAMS = {
+    "paths_required": "paths_required",
+    "suppression": "suppression_threshold",
+    "cpa_k": "cpa_k",
+}
 
 
 def _worker_count(text: str) -> int:
@@ -147,6 +160,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-out", metavar="FILE.csv", default=None,
                        help="write the sampled metric series as CSV "
                             "(implies --observe)")
+        p.add_argument("--medium", choices=MEDIA, default="grid",
+                       help="medium backend (all pinned bit-for-bit "
+                            "equivalent; 'vectorized' is the fast path "
+                            "at n >= ~500)")
+        p.add_argument("--tier", choices=TIERS, default="packet",
+                       help="simulation tier: 'packet' (discrete-event) "
+                            "or 'fluid' (calibrated mean-field model, "
+                            "usable to n of 10^5+)")
+        p.add_argument("--paths-required", type=int, default=None,
+                       metavar="K",
+                       help="dolev: node-disjoint paths required before "
+                            "accepting (default min(f+1, 3))")
+        p.add_argument("--suppression-threshold", type=int, default=None,
+                       metavar="K",
+                       help="optflood: duplicate overhears that suppress "
+                            "a retransmission (default 3)")
+        p.add_argument("--cpa-k", type=int, default=None, metavar="K",
+                       help="maurer_tixeuil: local fault bound k — accept "
+                            "on k+1 vouching neighbours (default 1 under "
+                            "declared faults, else 0)")
 
     run_p = sub.add_parser("run", help="run one experiment")
     add_scenario_args(run_p)
@@ -164,7 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_args(sweep_p)
     sweep_p.add_argument("--protocol", choices=arena.available_protocols(),
                          default="byzcast")
-    sweep_p.add_argument("--param", choices=("n", "mute"), required=True)
+    sweep_p.add_argument("--param",
+                         choices=("n", "mute") + tuple(_RIVAL_PARAMS),
+                         required=True,
+                         help="what to sweep: scenario size/faults, or a "
+                              "rival-protocol knob (paths_required, "
+                              "suppression, cpa_k)")
     sweep_p.add_argument("--values", required=True,
                          help="comma-separated values, e.g. 20,40,60")
     sweep_p.add_argument("--seeds", default="1,2",
@@ -341,6 +379,12 @@ def _config_from(args: argparse.Namespace, protocol: str,
             or getattr(args, "trace_out", None)
             or getattr(args, "metrics_out", None)):
         observe = ObsConfig()
+    rivals = None
+    knob_values = {field: getattr(args, field, None)
+                   for field in ("paths_required", "suppression_threshold",
+                                 "cpa_k")}
+    if any(value is not None for value in knob_values.values()):
+        rivals = RivalKnobs(**knob_values)
     return ExperimentConfig(
         scenario=scenario, protocol=protocol, stack=stack,
         message_count=args.messages, message_interval=args.interval,
@@ -348,7 +392,10 @@ def _config_from(args: argparse.Namespace, protocol: str,
         chaos=chaos, oracle=oracle,
         signature_scheme=getattr(args, "scheme", "hmac"),
         profile=getattr(args, "profile", False),
-        checkpoint=checkpoint, observe=observe)
+        checkpoint=checkpoint, observe=observe,
+        medium=getattr(args, "medium", "grid"),
+        tier=getattr(args, "tier", "packet"),
+        rivals=rivals)
 
 
 def _print_report(result, out, *, oracle: bool = False) -> None:
@@ -691,9 +738,18 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         def make_config(value):
             if args.param == "n":
                 scenario = _scenario_from(args, n=value)
-            else:
+            elif args.param == "mute":
                 scenario = _scenario_from(args, mute=value)
-            return _config_from(args, args.protocol, scenario)
+            else:
+                scenario = _scenario_from(args)
+            config = _config_from(args, args.protocol, scenario)
+            if args.param in _RIVAL_PARAMS:
+                from dataclasses import replace as dc_replace
+                base = config.rivals or RivalKnobs()
+                knobs = dc_replace(base,
+                                   **{_RIVAL_PARAMS[args.param]: value})
+                config = dc_replace(config, rivals=knobs)
+            return config
 
         points = run_sweep(values, make_config, seeds=seeds,
                            workers=args.workers)

@@ -34,9 +34,15 @@ class Event:
     Instances are returned by :meth:`Simulator.schedule` and may be cancelled
     before they fire.  Cancellation is O(1): the event is flagged and skipped
     when popped from the heap.
+
+    Events scheduled through the ``*_transient`` methods are *slab
+    allocated*: the kernel recycles their records through an internal free
+    list after they fire.  No handle is returned for them (recycling a
+    record someone still holds a reference to would be unsound), so
+    transient events cannot be cancelled.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "transient")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., Any], args: tuple):
@@ -45,6 +51,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.transient = False
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
@@ -74,6 +81,11 @@ class Simulator:
         sim.run(until=100.0)
     """
 
+    #: Maximum number of recycled event records kept on the free list.
+    #: Bounds worst-case memory after a scheduling burst; beyond this,
+    #: fired transient events are simply dropped for the GC.
+    SLAB_LIMIT = 4096
+
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._seq = 0
@@ -81,6 +93,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_fired = 0
+        self._free: List[Event] = []
+        self._recycled = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -94,6 +108,12 @@ class Simulator:
     def events_fired(self) -> int:
         """Number of events executed so far (cancelled events excluded)."""
         return self._events_fired
+
+    @property
+    def events_recycled(self) -> int:
+        """Number of transient event records reused from the slab free
+        list instead of freshly allocated (diagnostics)."""
+        return self._recycled
 
     @property
     def pending(self) -> int:
@@ -134,6 +154,54 @@ class Simulator:
         return self.schedule(0.0, callback, *args)
 
     # ------------------------------------------------------------------
+    # Transient (slab-allocated) scheduling
+    # ------------------------------------------------------------------
+    def schedule_transient(self, delay: float, callback: Callable[..., Any],
+                           *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: same timing and FIFO
+        tie-breaking (the shared sequence counter), but the event record is
+        drawn from and returned to an internal slab, and no handle is
+        returned — transient events cannot be cancelled.  Use for the
+        high-volume timers that never need cancellation (medium completion,
+        MAC backoff); the steady state then allocates no Event objects.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        if math.isnan(delay) or math.isinf(delay):
+            raise SimulationError(f"non-finite delay: {delay}")
+        self.schedule_at_transient(self._now + delay, callback, *args)
+
+    def schedule_at_transient(self, time: float,
+                              callback: Callable[..., Any],
+                              *args: Any) -> None:
+        """:meth:`schedule_at`, slab-allocated and uncancellable."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < {self._now}")
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            self._recycled += 1
+        else:
+            event = Event(time, self._seq, callback, args)
+            event.transient = True
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+
+    def _recycle(self, event: Event) -> None:
+        if len(self._free) < self.SLAB_LIMIT:
+            # Drop payload references so the slab never pins callbacks or
+            # arguments alive between uses.
+            event.callback = _noop
+            event.args = ()
+            self._free.append(event)
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
@@ -144,6 +212,8 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                if event.transient:
+                    self._recycle(event)
                 continue
             self._now = event.time
             event.cancelled = True  # mark fired; `active` becomes False
@@ -157,6 +227,8 @@ class Simulator:
                 start = perf_counter()
                 event.callback(*event.args)
                 prof.add("kernel.event", perf_counter() - start)
+            if event.transient:
+                self._recycle(event)
             return True
         return False
 
@@ -195,3 +267,20 @@ class Simulator:
     def clear(self) -> None:
         """Drop all pending events (the clock is preserved)."""
         self._heap.clear()
+
+    # ------------------------------------------------------------------
+    # Pickling (checkpoint/resume)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Checkpoints exclude the slab free list: recycled records are
+        pure allocator state, and shipping them would make checkpoint
+        bytes depend on the run's transient-event history."""
+        state = self.__dict__.copy()
+        state["_free"] = []
+        state["_recycled"] = 0
+        return state
+
+
+def _noop() -> None:  # placeholder callback for recycled slab records
+    """Never fired; parked on free-listed events so their previous
+    callback/argument references can be garbage collected."""

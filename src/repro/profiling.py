@@ -67,6 +67,9 @@ PHASES = (
     "codec.encode_hit",    # wire-frame cache hits (encoding skipped)
     "codec.decode",        # TLV wire decodings
     "medium.complete",     # reception resolution (inclusive of handlers)
+    "medium.candidates",   # candidate-receiver lookup (grid query, brute
+                           # scan, or vectorized mask computation)
+    "medium.grid_rebuild", # spatial-hash-grid growth rebuilds
     "kernel.event",        # event dispatch (inclusive of nested phases)
 )
 

@@ -9,6 +9,7 @@ from .neighbors import HelloMessage, NeighborService
 from .packet import BROADCAST, Packet
 from .propagation import LogNormalShadowing, PropagationModel, UnitDisk
 from .radio import Radio
+from .vectorized import VectorizedMedium
 
 __all__ = [
     "Area",
@@ -32,4 +33,5 @@ __all__ = [
     "SpatialHashGrid",
     "Transmission",
     "UnitDisk",
+    "VectorizedMedium",
 ]

@@ -170,7 +170,13 @@ class Medium:
             elif reach > self._grid.cell_size:
                 # Cell size must stay >= every radio's reach so a disk
                 # query touches at most a 3x3 cell block; grow by rebuild.
-                self._grid = self._grid.rebuilt(reach)
+                prof = profiling.ACTIVE
+                if prof is None:
+                    self._grid = self._grid.rebuilt(reach)
+                else:
+                    start = perf_counter()
+                    self._grid = self._grid.rebuilt(reach)
+                    prof.add("medium.grid_rebuild", perf_counter() - start)
             self._grid.insert(node_id, get_position())
 
     def detach(self, node_id: int) -> None:
@@ -274,7 +280,9 @@ class Medium:
                      size=packet.size_bytes)
         for observer in self._observers:
             observer.on_transmit(node_id, packet)
-        self._sim.schedule_at(tx.end, self._complete, tx)
+        # Completion events are never cancelled, so they qualify for the
+        # kernel's slab-allocated transient scheduling.
+        self._sim.schedule_at_transient(tx.end, self._complete, tx)
         return tx
 
     # ------------------------------------------------------------------
@@ -308,6 +316,15 @@ class Medium:
         attached radio.  Both are sorted by node id so delivery order is
         independent of attach order and of the indexing strategy.
         """
+        prof = profiling.ACTIVE
+        if prof is None:
+            return self._candidate_ids_body(tx)
+        start = perf_counter()
+        out = self._candidate_ids_body(tx)
+        prof.add("medium.candidates", perf_counter() - start)
+        return out
+
+    def _candidate_ids_body(self, tx: Transmission) -> Sequence[int]:
         if self._grid is not None:
             return self._grid.candidates(
                 tx.origin, self._propagation.max_reach(tx.tx_range))

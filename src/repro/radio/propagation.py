@@ -30,6 +30,14 @@ __all__ = ["PropagationModel", "UnitDisk", "LogNormalShadowing"]
 class PropagationModel(ABC):
     """Decides whether an interference-free reception succeeds."""
 
+    #: True when ``reception_succeeds(d, r, rng)`` is exactly
+    #: ``d < max_reach(r)`` and consumes no randomness.  The vectorized
+    #: medium then skips the per-candidate sample entirely — its in-reach
+    #: mask already *is* the reception verdict.  Stochastic models leave
+    #: this False so every candidate samples the RNG stream in scalar
+    #: order.
+    resolves_in_reach = False
+
     @abstractmethod
     def max_reach(self, tx_range: float) -> float:
         """Upper bound on the distance at which reception is possible."""
@@ -52,6 +60,8 @@ class PropagationModel(ABC):
 class UnitDisk(PropagationModel):
     """The paper's formal model: perfect reception strictly inside the
     transmission disk, nothing outside."""
+
+    resolves_in_reach = True
 
     def max_reach(self, tx_range: float) -> float:
         return tx_range

@@ -52,7 +52,9 @@ __all__ = [
 #: Bump when the snapshot payload layout changes; older files are refused.
 #: v2: ``ExperimentWorld`` gained ``obs``/``profiler`` (instruments ride
 #: in the world so resume continues their streams).
-CHECKPOINT_VERSION = 2
+#: v3: ``Event`` records carry a ``transient`` slab flag and ``Simulator``
+#: pickles exclude the slab free list; pre-slab snapshots are refused.
+CHECKPOINT_VERSION = 3
 
 
 class CheckpointError(RuntimeError):
@@ -93,18 +95,38 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
+#: Fields excluded from the key unconditionally.  These are *execution*
+#: knobs: they change how a run executes — snapshot cadence, what it
+#: records about itself, or which (pinned-equivalent) candidate-indexing
+#: backend resolves receptions — never what it computes, so every setting
+#: must land on the same campaign record key.
+_EXECUTION_FIELDS = ("checkpoint", "observe", "medium")
+
+#: Fields elided from the key only at their default value.  Non-default
+#: settings (the fluid tier, overridden rival knobs) legitimately change
+#: what a run computes and get their own key, while every configuration
+#: predating the field keeps the key it always had.
+_DEFAULT_ELIDED = {"tier": "packet", "rivals": None}
+
+
 def config_key(config: Any) -> str:
     """Stable content hash identifying one configuration.
 
-    The ``checkpoint`` and ``observe`` fields (when present) are
-    excluded: how often a run snapshots itself — or what it records about
-    itself — does not change what it simulates, and a resumed or observed
-    run must land on the same record key as the plain run it replaces.
+    Execution knobs (``checkpoint``, ``observe``, ``medium``) are
+    excluded: how often a run snapshots itself, what it records about
+    itself, or which equivalent medium backend it runs on does not change
+    what it simulates, so a checkpointed, observed, or vectorized run
+    lands on the same record key as the plain run it replaces.  Newer
+    semantic fields (``tier``, ``rivals``) are elided at their defaults
+    so pre-existing keys stay stable.
     """
     canonical_dict = _jsonable(config)
     if isinstance(canonical_dict, dict):
-        canonical_dict.pop("checkpoint", None)
-        canonical_dict.pop("observe", None)
+        for name in _EXECUTION_FIELDS:
+            canonical_dict.pop(name, None)
+        for name, default in _DEFAULT_ELIDED.items():
+            if canonical_dict.get(name, default) == default:
+                canonical_dict.pop(name, None)
     canonical = json.dumps(canonical_dict, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 

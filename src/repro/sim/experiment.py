@@ -58,6 +58,7 @@ from ..radio.energy import EnergyModel
 from ..radio.geometry import Area, Position
 from ..radio.medium import Medium
 from ..radio.propagation import LogNormalShadowing, UnitDisk
+from ..radio.vectorized import VectorizedMedium
 from ..tracing.recorder import TraceRecorder
 from ..workloads.scenarios import ScenarioConfig
 from ..workloads.sources import BroadcastEvent, periodic_source
@@ -72,14 +73,61 @@ from .checkpoint import (
 )
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "ExperimentWorld",
-           "run_experiment", "resume_experiment", "build_world",
-           "finish_world", "run_many", "PROTOCOLS", "SCHEMES"]
+           "RivalKnobs", "run_experiment", "resume_experiment",
+           "build_world", "finish_world", "run_many", "PROTOCOLS",
+           "SCHEMES", "MEDIA", "TIERS"]
 
 #: The paper-canonical protocol set (kept for back-compat with pre-arena
 #: callers); the authoritative list is ``repro.arena.available_protocols()``.
 PROTOCOLS = ("byzcast", "flooding", "overlay_only", "multi_overlay")
 
 SCHEMES = ("hmac", "dsa")
+
+#: Medium backends.  All three are pinned bit-for-bit equivalent
+#: (``tests/test_medium_grid_equivalence.py``), so the choice is an
+#: execution knob: "grid" (scalar + spatial hash), "brute" (scalar
+#: all-radios scan), "vectorized" (numpy mask arithmetic — the fast path
+#: at n >= ~500).
+MEDIA = ("grid", "brute", "vectorized")
+
+#: Simulation tiers: "packet" runs the discrete-event simulator;
+#: "fluid" evaluates the calibrated mean-field model
+#: (:mod:`repro.sim.fluid`) — approximate, but O(rounds) instead of
+#: O(events), usable to n of 10^5..10^6.
+TIERS = ("packet", "fluid")
+
+
+@dataclass(frozen=True)
+class RivalKnobs:
+    """Tuning-knob overrides for the rival protocols.
+
+    ``None`` leaves a knob at the protocol builder's scenario-derived
+    default (see :mod:`repro.arena.builtins`); setting one changes what
+    the run computes, so non-default knobs participate in the campaign
+    content hash.
+    """
+
+    #: Dolev: node-disjoint paths required before accepting (default
+    #: ``min(f + 1, 3)``).
+    paths_required: Optional[int] = None
+    #: optflood: duplicate overhears that suppress a retransmission
+    #: (default 3).
+    suppression_threshold: Optional[int] = None
+    #: Maurer-Tixeuil CPA: local fault bound k — accept on ``k + 1``
+    #: vouching neighbours (default 1 when the scenario declares
+    #: Byzantine presence, else 0).
+    cpa_k: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.paths_required is not None and self.paths_required < 1:
+            raise ValueError(
+                f"paths_required must be >= 1: {self.paths_required}")
+        if (self.suppression_threshold is not None
+                and self.suppression_threshold < 1):
+            raise ValueError(f"suppression_threshold must be >= 1: "
+                             f"{self.suppression_threshold}")
+        if self.cpa_k is not None and self.cpa_k < 0:
+            raise ValueError(f"cpa_k must be >= 0: {self.cpa_k}")
 
 
 @dataclass(frozen=True)
@@ -119,6 +167,18 @@ class ExperimentConfig:
     #: does without changing what the run does.  The result then carries
     #: lifecycle spans and virtual-time metric series in ``trace``.
     observe: Optional[ObsConfig] = None
+    #: Medium backend (one of :data:`MEDIA`).  All backends are pinned
+    #: bit-for-bit equivalent, so this is an execution knob excluded from
+    #: the campaign content hash — pick "vectorized" for large n.
+    medium: str = "grid"
+    #: Simulation tier (one of :data:`TIERS`).  "fluid" swaps the
+    #: discrete-event run for the calibrated mean-field model — a
+    #: different (approximate) computation, so non-default tiers get
+    #: their own campaign record key.
+    tier: str = "packet"
+    #: Rival-protocol knob overrides (see :class:`RivalKnobs`); None
+    #: keeps every builder default.
+    rivals: Optional[RivalKnobs] = None
 
     def __post_init__(self) -> None:
         if not arena.is_registered(self.protocol):
@@ -133,6 +193,23 @@ class ExperimentConfig:
             raise ValueError("warmup/drain must be non-negative")
         if self.message_count < 1 and self.workload is None:
             raise ValueError("need at least one message")
+        if self.medium not in MEDIA:
+            raise ValueError(
+                f"unknown medium {self.medium!r}; choose from {MEDIA}")
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"unknown tier {self.tier!r}; choose from {TIERS}")
+        if self.tier == "fluid":
+            # The mean-field model has no event stream for these
+            # instruments to observe (and nothing to snapshot).
+            unsupported = [name for name, value in (
+                ("chaos", self.chaos), ("oracle", self.oracle),
+                ("checkpoint", self.checkpoint), ("observe", self.observe),
+                ("profile", self.profile)) if value]
+            if unsupported:
+                raise ValueError(
+                    f"tier='fluid' does not support: "
+                    f"{', '.join(unsupported)}")
 
     def events(self) -> List[BroadcastEvent]:
         if self.workload is not None:
@@ -242,7 +319,14 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     continues the same counters and span streams and its profile/trace
     match the uninterrupted run's (profile *seconds* excepted:
     wall-clock is never part of the determinism contract).
+
+    With ``config.tier == "fluid"`` the discrete-event machinery is
+    bypassed entirely: the calibrated mean-field model
+    (:mod:`repro.sim.fluid`) produces the result analytically.
     """
+    if config.tier == "fluid":
+        from .fluid import run_fluid_experiment
+        return run_fluid_experiment(config)
     return _run_experiment_body(config)
 
 
@@ -352,8 +436,7 @@ def build_world(config: ExperimentConfig) -> ExperimentWorld:
     positions = _positions(scenario, streams, correct)
     area = Area(scenario.side(), scenario.side())
     propagation = _propagation(scenario)
-    medium = Medium(sim, streams.stream("medium"), propagation,
-                    bitrate_bps=scenario.bitrate_bps)
+    medium = _make_medium(config, sim, streams, propagation)
     energy = EnergyModel(sim, medium)
     directory = KeyDirectory(_scheme(config))
 
@@ -620,6 +703,22 @@ def _positions(scenario: ScenarioConfig, streams: StreamFactory,
         return line_positions(
             scenario.n, scenario.line_spacing_factor * scenario.tx_range)
     raise AssertionError(scenario.placement)
+
+
+def _make_medium(config: ExperimentConfig, sim: Simulator,
+                 streams: StreamFactory, propagation) -> Medium:
+    """Construct the configured medium backend (same RNG stream for all
+    three, so switching backends never desynchronises a run)."""
+    scenario = config.scenario
+    rng = streams.stream("medium")
+    if config.medium == "vectorized":
+        return VectorizedMedium(sim, rng, propagation,
+                                bitrate_bps=scenario.bitrate_bps)
+    # "grid" passes use_grid=None so Medium.DEFAULT_USE_GRID (which the
+    # equivalence tests monkeypatch globally) stays authoritative.
+    use_grid = None if config.medium == "grid" else False
+    return Medium(sim, rng, propagation, bitrate_bps=scenario.bitrate_bps,
+                  use_grid=use_grid)
 
 
 def _propagation(scenario: ScenarioConfig):

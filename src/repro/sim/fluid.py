@@ -1,0 +1,397 @@
+"""Tier-2 simulator: a calibrated mean-field ("fluid") broadcast model.
+
+The packet-level simulator resolves every transmission, collision, and
+reception — O(events) work that tops out around n of a few thousand.
+This module trades that fidelity for an O(rounds) recurrence over
+population *fractions*, usable to n of 10^5..10^6: the epidemic
+mean-field approximation of flooding-style dissemination on a random
+geometric graph, with contention losses and Byzantine mute fractions
+folded in.
+
+The model
+---------
+State per broadcast, advanced in synchronous rounds of calibrated
+length ``round_s``:
+
+* ``F`` — fraction of nodes transmitting this round;
+* ``M`` — cumulative expected count of successfully received copies at
+  a random correct node ("copy mass");
+* ``T`` — fraction of correct non-source nodes committed.
+
+Each round, a random node has ``A = d·F`` transmitting neighbours
+(``d`` = mean degree).  A copy survives the channel with probability
+``s = p_hear · exp(−beta · max(0, A − 1))`` — ``p_hear`` is the
+contention-free hearing probability and the exponential factor models
+CSMA collision losses once more than one neighbour transmits in the
+round.  The copy mass then grows by ``ΔM = A·s``, and commitment is a
+Poisson-tail threshold crossing::
+
+    T = P(Poisson(M) >= theta)
+
+``theta`` is the protocol's commit threshold: 1 for flooding-style
+acceptance, ``k + 1`` for Maurer-Tixeuil CPA, ``paths_required`` for
+Dolev (path diversity approximated by copy diversity).  The source's
+own neighbourhood — a ``q = d/n`` cohort — additionally commits on the
+direct source copy regardless of ``theta`` (every threshold protocol
+here has a source-link/single-hop rule), which seeds the epidemic.
+Newly committed correct nodes relay next round:
+``F' = (T − T_prev)·(1 − f)·relay`` with ``f`` the Byzantine fraction
+(mute worst case: adversaries never relay) and ``relay`` the
+protocol's relay fraction (1 for flooding, the overlay fraction for
+overlay protocols, a duplicate-suppression factor for optflood).
+Dolev relays on *first copy heard* rather than on commitment (it
+forwards path-annotated copies before accepting), which the profile's
+``forward_on`` field selects.  Protocols with a recovery phase (the
+paper's gossip + recovery) close the residual gap afterwards with
+calibrated per-round recovery gains.
+
+Fidelity note: the mean-field approximation is sharpest for
+commit-on-first-copy dissemination (flooding, byzcast, optflood — the
+calibration bound below).  Threshold protocols under heavy clustered
+faults sit in a percolation regime where packet-level outcomes land
+*between* the model's fixed points (e.g. Dolev at 10% mute delivers
+~0.2 packet-level); fluid numbers there are directional, not
+calibrated.
+
+Calibration
+-----------
+:data:`DEFAULT_PARAMS` is fitted against packet-level runs of this
+repo's own simulator (see ``benchmarks/test_e12_extended_scale.py``,
+which re-checks the bound): on overlapping n the fluid delivery ratio
+must stay within ±0.05 of the packet-level measurement.
+:func:`calibrate` re-fits ``p_hear``/``beta`` by grid search against
+any reference set.
+
+Everything here is closed-form deterministic arithmetic — same config,
+same result, no RNG — so fluid results participate in campaign records
+exactly like packet results (under a distinct ``tier`` key).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..workloads.scenarios import ScenarioConfig
+
+__all__ = ["FluidParams", "FluidOutcome", "DEFAULT_PARAMS",
+           "run_fluid", "run_fluid_experiment", "calibrate",
+           "cross_validate", "protocol_profile"]
+
+
+@dataclass(frozen=True)
+class FluidParams:
+    """Calibration constants of the mean-field model."""
+
+    #: Contention-free probability that an in-reach copy is heard
+    #: (absorbs MAC capture, half-duplex, and edge effects).
+    p_hear: float = 0.9
+    #: Collision attenuation: per-copy success decays by
+    #: ``exp(-beta·(A-1))`` once ``A > 1`` neighbours transmit per round.
+    beta: float = 0.12
+    #: Wall-clock length of one model round in simulated seconds
+    #: (airtime + MAC access jitter; sets the latency scale).
+    round_s: float = 0.02
+    #: Multiplier on the geometric mean degree ``n·pi·r²/side²``
+    #: (edge-effect correction).
+    degree_scale: float = 0.85
+    #: Stop once the round's transmitting fraction drops below this.
+    eps: float = 1e-6
+    #: Hard round cap (recurrences converge long before this).
+    max_rounds: int = 10_000
+
+
+#: Fitted against packet-level runs (flooding/byzcast/dolev/optflood/
+#: maurer_tixeuil, n in 60..300, mute fractions 0..0.2) — see
+#: ``benchmarks/results/e12_extended_scale.txt`` for the residuals.
+DEFAULT_PARAMS = FluidParams()
+
+
+@dataclass(frozen=True)
+class _Profile:
+    """Per-protocol inputs to the recurrence."""
+
+    #: Copies required to commit.
+    theta: int = 1
+    #: Fraction of newly committed correct nodes that relay.
+    relay: float = 1.0
+    #: What triggers relaying: "commit" (most protocols) or "hear"
+    #: (Dolev forwards path-annotated copies before accepting).
+    forward_on: str = "commit"
+    #: Fraction of received copies that count toward a ``theta > 1``
+    #: threshold: copies arriving through shared intermediate nodes are
+    #: not node-disjoint paths / independent vouchers, so threshold
+    #: protocols see only a discounted mass.  Irrelevant at theta = 1
+    #: (any copy commits; never applied there).
+    path_discount: float = 1.0
+    #: Extra recovery passes after dissemination stalls (the paper's
+    #: gossip/recovery phase), each closing ``recovery_gain`` of the
+    #: remaining delivery gap.
+    recovery_rounds: int = 0
+    recovery_gain: float = 0.0
+
+
+def protocol_profile(config) -> _Profile:
+    """Resolve an :class:`ExperimentConfig` to its model profile.
+
+    Honours the same ``config.rivals`` knob overrides the packet-level
+    protocol builders use (:mod:`repro.arena.builtins`), so a fluid
+    sweep over ``paths_required`` or ``cpa_k`` moves the same lever.
+    """
+    faults = config.scenario.adversaries.total
+    rivals = getattr(config, "rivals", None)
+
+    def knob(name, default):
+        value = getattr(rivals, name, None) if rivals is not None else None
+        return default if value is None else value
+
+    protocol = config.protocol
+    if protocol == "byzcast":
+        # Overlay-restricted relaying plus gossip/recovery cleanup.
+        return _Profile(theta=1, relay=0.6, recovery_rounds=3,
+                        recovery_gain=0.65)
+    if protocol == "overlay_only":
+        return _Profile(theta=1, relay=0.45)
+    if protocol == "multi_overlay":
+        return _Profile(theta=1, relay=0.75)
+    if protocol == "dolev":
+        return _Profile(theta=knob("paths_required",
+                                   min(faults + 1, 3)), relay=1.0,
+                        forward_on="hear", path_discount=0.2)
+    if protocol == "optflood":
+        # Counter suppression: once ``threshold`` duplicates are heard a
+        # node stays quiet, so roughly ``threshold`` of the ~d·p_hear
+        # informed neighbours relay.
+        threshold = knob("suppression_threshold", 3)
+        degree = _mean_degree(config.scenario, DEFAULT_PARAMS)
+        relay = min(1.0, threshold / max(1.0, degree * 0.5))
+        return _Profile(theta=1, relay=relay)
+    if protocol == "maurer_tixeuil":
+        k = knob("cpa_k", 1 if faults else 0)
+        return _Profile(theta=k + 1, relay=1.0, path_discount=0.25)
+    # Unknown/plugin protocols: flooding-like default.
+    return _Profile()
+
+
+@dataclass(frozen=True)
+class FluidOutcome:
+    """Raw model outputs for one broadcast."""
+
+    delivery: float
+    rounds: int
+    mean_commit_round: float
+    last_commit_round: float
+    transmissions: float      # per broadcast, source included
+    copies_received: float    # successful copies, network-wide
+    copies_collided: float    # copies lost to contention, network-wide
+
+
+def _poisson_tail(mass: float, theta: int) -> float:
+    """P(Poisson(mass) >= theta) — the commit probability at copy mass
+    ``mass`` for threshold ``theta``."""
+    if mass <= 0.0:
+        return 0.0
+    if theta <= 0:
+        return 1.0
+    # 1 - sum_{k<theta} e^-m m^k / k!, accumulated stably.
+    term = math.exp(-mass)
+    cdf = term
+    for k in range(1, theta):
+        term *= mass / k
+        cdf += term
+    return max(0.0, 1.0 - cdf)
+
+
+def _mean_degree(scenario: ScenarioConfig, params: FluidParams) -> float:
+    side = scenario.side()
+    geometric = (scenario.n * math.pi * scenario.tx_range ** 2
+                 / (side * side))
+    return max(1.0, geometric * params.degree_scale)
+
+
+def run_fluid(scenario: ScenarioConfig, profile: _Profile,
+              params: FluidParams = DEFAULT_PARAMS) -> FluidOutcome:
+    """Advance the mean-field recurrence for one broadcast."""
+    n = scenario.n
+    d = _mean_degree(scenario, params)
+    f = scenario.adversaries.total / n
+    relay = profile.relay * (1.0 - f)
+    p_hear = params.p_hear
+
+    # Source-neighbourhood cohort: fraction q of nodes hears the source
+    # directly (uncontended, so with probability p_hear) and commits on
+    # that copy alone — the source-link/single-hop rule every protocol
+    # here has.  The rest of the population needs theta relayed copies.
+    q = min(1.0, d / n)
+
+    discount = profile.path_discount if profile.theta > 1 else 1.0
+
+    def commit_frac(mass: float) -> float:
+        tail = _poisson_tail(mass * discount, profile.theta)
+        return q * (1.0 - (1.0 - p_hear) * (1.0 - tail)) + (1.0 - q) * tail
+
+    def informed_frac(mass: float) -> float:
+        tail = _poisson_tail(mass, 1)
+        return q * (1.0 - (1.0 - p_hear) * (1.0 - tail)) + (1.0 - q) * tail
+
+    M = 0.0                # relayed copy mass at a random node
+    rounds = 1             # round 1: the source transmits alone
+    tx = 1.0
+    T = commit_frac(0.0)   # = q * p_hear
+    S = informed_frac(0.0)
+    received = q * p_hear * n
+    collided = 0.0
+    commit_mass = rounds * T   # sum over rounds of round * newly
+    last_round = float(rounds) if T > 0.0 else 0.0
+    gate = T if profile.forward_on == "commit" else S
+    F = gate * relay
+
+    while F > params.eps and rounds < params.max_rounds:
+        rounds += 1
+        tx += F * n
+        A = d * F
+        s = p_hear * math.exp(-params.beta * max(0.0, A - 1.0))
+        M += A * s
+        received += A * s * n
+        collided += A * (p_hear - s) * n
+        new_T = commit_frac(M)
+        new_S = informed_frac(M)
+        newly = max(0.0, new_T - T)
+        newly_informed = max(0.0, new_S - S)
+        T, S = new_T, new_S
+        if newly > 0.0:
+            commit_mass += rounds * newly
+            last_round = float(rounds)
+        gate = newly if profile.forward_on == "commit" else newly_informed
+        F = gate * relay
+
+    # Recovery phase: pull-based cleanup closing the residual gap.
+    for extra in range(profile.recovery_rounds):
+        if T >= 1.0 - 1e-12:
+            break
+        gained = (1.0 - T) * profile.recovery_gain * (1.0 - f)
+        if gained <= 0.0:
+            break
+        rounds += 1
+        commit_mass += rounds * gained
+        last_round = float(rounds)
+        # One pull + one response per recovered node.
+        tx += gained * n * 2.0
+        T = min(1.0, T + gained)
+
+    mean_round = commit_mass / T if T > 0.0 else 0.0
+    return FluidOutcome(
+        delivery=min(1.0, T), rounds=rounds,
+        mean_commit_round=mean_round, last_commit_round=last_round,
+        transmissions=tx, copies_received=received,
+        copies_collided=collided)
+
+
+def run_fluid_experiment(config) -> "ExperimentResult":
+    """Evaluate ``config`` on the fluid tier; returns an
+    :class:`repro.sim.experiment.ExperimentResult` shaped exactly like a
+    packet-level one (so sweeps, campaigns, and renderers need no
+    special casing)."""
+    from .experiment import ExperimentResult  # circular-safe: lazy
+
+    scenario = config.scenario
+    params = DEFAULT_PARAMS
+    profile = protocol_profile(config)
+    outcome = run_fluid(scenario, profile, params)
+    events = config.events()
+    broadcasts = len(events)
+    byzantine = scenario.adversaries.total
+    correct = scenario.n - byzantine
+
+    mean_latency = outcome.mean_commit_round * params.round_s
+    max_latency = outcome.last_commit_round * params.round_s
+    complete = outcome.delivery ** max(0, correct - 1)
+    horizon = (config.warmup + max(e.time for e in events) + config.drain
+               if events else config.warmup + config.drain)
+
+    payload = scenario.payload_size
+    tx_total = outcome.transmissions * broadcasts
+    physical: Dict[str, float] = {
+        "transmissions": tx_total,
+        "bytes_sent": tx_total * payload,
+        "deliveries": outcome.copies_received * broadcasts,
+        "collisions": outcome.copies_collided * broadcasts,
+        "propagation_losses": 0.0,
+        "half_duplex_losses": 0.0,
+        "tx_data": tx_total,
+        "bytes_data": tx_total * payload,
+        "tx_hello": 0.0,
+        "bytes_hello": 0.0,
+    }
+    return ExperimentResult(
+        protocol=config.protocol,
+        n=scenario.n,
+        byzantine=byzantine,
+        broadcasts=broadcasts,
+        delivery_ratio=outcome.delivery,
+        complete_fraction=complete,
+        mean_latency=mean_latency if outcome.delivery > 0 else None,
+        max_latency=max_latency if outcome.delivery > 0 else None,
+        mean_completion_latency=(max_latency if complete > 0.5 else None),
+        physical=physical,
+        energy={"nodes": float(scenario.n), "tx_joules": 0.0,
+                "rx_joules": 0.0, "max_node_joules": 0.0,
+                "mean_node_joules": 0.0},
+        overlay_quality=None,
+        sim_time=horizon,
+    )
+
+
+# ----------------------------------------------------------------------
+# Calibration & validation
+# ----------------------------------------------------------------------
+def calibrate(reference: Sequence[Tuple[ScenarioConfig, _Profile, float]],
+              p_hear_grid: Iterable[float] = (0.7, 0.8, 0.85, 0.9, 0.95),
+              beta_grid: Iterable[float] = (0.02, 0.05, 0.08, 0.12, 0.2,
+                                            0.3),
+              base: FluidParams = DEFAULT_PARAMS) -> FluidParams:
+    """Grid-search ``p_hear``/``beta`` minimising the worst-case absolute
+    delivery error against ``(scenario, profile, measured_delivery)``
+    references (typically packet-level runs)."""
+    best: Optional[FluidParams] = None
+    best_err = float("inf")
+    for p_hear in p_hear_grid:
+        for beta in beta_grid:
+            params = replace(base, p_hear=p_hear, beta=beta)
+            err = max(abs(run_fluid(scenario, profile, params).delivery
+                          - measured)
+                      for scenario, profile, measured in reference)
+            if err < best_err:
+                best_err = err
+                best = params
+    assert best is not None
+    return best
+
+
+def cross_validate(config, ns: Sequence[int]) -> List[Dict[str, float]]:
+    """Packet-vs-fluid delivery comparison over ``ns``.
+
+    Runs ``config`` (which must be ``tier="packet"``) at each n on both
+    tiers and returns per-n rows with the absolute delivery error — the
+    quantity the calibration bound (±0.05) is stated over.
+    """
+    from dataclasses import replace as dc_replace
+
+    from .experiment import run_experiment
+
+    rows: List[Dict[str, float]] = []
+    for n in ns:
+        scenario = config.scenario.with_n(n)
+        packet = run_experiment(dc_replace(
+            config, scenario=scenario, tier="packet"))
+        fluid = run_experiment(dc_replace(
+            config, scenario=scenario, tier="fluid"))
+        rows.append({
+            "n": n,
+            "packet_delivery": round(packet.delivery_ratio, 4),
+            "fluid_delivery": round(fluid.delivery_ratio, 4),
+            "abs_error": round(abs(packet.delivery_ratio
+                                   - fluid.delivery_ratio), 4),
+        })
+    return rows

@@ -1,16 +1,18 @@
-"""Grid-vs-brute-force equivalence suite for the wireless medium.
+"""Medium-backend equivalence suite: grid vs brute force vs vectorized.
 
 The spatial hash grid (`repro.radio.grid`) replaces the medium's
-all-radios scan with a cell query.  That is only an optimisation if it is
+all-radios scan with a cell query, and the vectorized medium
+(`repro.radio.vectorized`) replaces the per-radio resolution loop with
+numpy mask arithmetic.  Either is only an optimisation if it is
 *invisible*: every scenario must produce bit-for-bit identical physical
-events, stats, and RNG consumption whether the grid is on or off.  This
-suite pins that guarantee over seeded random placements, mobility traces,
-and collision-heavy workloads (> 20 scenarios total).
+events, stats, and RNG consumption on all three backends.  This suite
+pins that guarantee over seeded random placements, mobility traces, and
+collision-heavy workloads (> 20 scenarios total, each run three ways).
 
 The scenarios drive the medium directly (raw ``attach`` / ``transmit`` /
-``update_position``) so the comparison covers the exact layer the grid
-changed; a final set of tests re-runs the full experiment stack with the
-grid globally disabled and compares whole ``ExperimentResult`` objects.
+``update_position``) so the comparison covers the exact layers the
+backends changed; a final set of tests re-runs the full experiment stack
+on each backend and compares whole ``ExperimentResult`` objects.
 """
 
 import dataclasses
@@ -24,10 +26,18 @@ from repro.radio.geometry import Position
 from repro.radio.medium import Medium, MediumObserver
 from repro.radio.packet import Packet
 from repro.radio.propagation import LogNormalShadowing, UnitDisk
+from repro.radio.vectorized import VectorizedMedium
 from repro.sim.experiment import ExperimentConfig, run_experiment
 from repro.workloads.scenarios import AdversaryMix, ScenarioConfig
 
 SIDE = 600.0
+
+#: Constructor for each medium backend under test.
+MEDIUM_KINDS = {
+    "grid": lambda sim, rng, prop: Medium(sim, rng, prop, use_grid=True),
+    "brute": lambda sim, rng, prop: Medium(sim, rng, prop, use_grid=False),
+    "vectorized": lambda sim, rng, prop: VectorizedMedium(sim, rng, prop),
+}
 
 
 def _scenario_events(seed, n, *, heavy, mobile):
@@ -57,15 +67,23 @@ def _scenario_events(seed, n, *, heavy, mobile):
     return positions, ranges, transmissions, moves
 
 
-def run_scenario(seed, use_grid, *, n=30, heavy=False, mobile=False,
+def run_scenario(seed, medium_kind, *, n=30, heavy=False, mobile=False,
                  shadowing=False):
-    """Run one generated scenario; return (event log, stats)."""
+    """Run one generated scenario; return (event log, stats).
+
+    ``medium_kind`` is a :data:`MEDIUM_KINDS` key, or (backwards
+    compatible) a bool selecting grid/brute.
+    """
+    if medium_kind is True:
+        medium_kind = "grid"
+    elif medium_kind is False:
+        medium_kind = "brute"
     positions, ranges, transmissions, moves = _scenario_events(
         seed, n, heavy=heavy, mobile=mobile)
     sim = Simulator()
     propagation = (LogNormalShadowing(sigma=0.25, background_loss=0.05)
                    if shadowing else UnitDisk())
-    medium = Medium(sim, RandomStream(seed), propagation, use_grid=use_grid)
+    medium = MEDIUM_KINDS[medium_kind](sim, RandomStream(seed), propagation)
     log = []
 
     class Recorder(MediumObserver):
@@ -101,10 +119,11 @@ def run_scenario(seed, use_grid, *, n=30, heavy=False, mobile=False,
 
 
 def assert_equivalent(seed, **kwargs):
-    log_grid, stats_grid = run_scenario(seed, True, **kwargs)
-    log_brute, stats_brute = run_scenario(seed, False, **kwargs)
-    assert log_grid == log_brute
-    assert stats_grid == stats_brute
+    log_grid, stats_grid = run_scenario(seed, "grid", **kwargs)
+    for kind in ("brute", "vectorized"):
+        log_other, stats_other = run_scenario(seed, kind, **kwargs)
+        assert log_other == log_grid, kind
+        assert stats_other == stats_grid, kind
     assert stats_grid.transmissions > 0
     assert stats_grid.deliveries > 0
 

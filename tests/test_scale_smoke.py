@@ -1,0 +1,37 @@
+"""Scale smoke suite (``-m scale``): the two tiers at their own scales.
+
+A packet-level n=2000 experiment on the vectorized medium and a small
+packet-vs-fluid cross-validation — fast enough for CI, real enough to
+catch a broken fast path or a drifted calibration.  The full scale
+curves (n to 10^5) live in ``benchmarks/test_e12_extended_scale.py``.
+"""
+
+import pytest
+
+from repro.sim.experiment import ExperimentConfig, run_experiment
+from repro.sim.fluid import cross_validate
+from repro.workloads.scenarios import ScenarioConfig
+
+pytestmark = pytest.mark.scale
+
+
+def test_vectorized_n2000_experiment():
+    result = run_experiment(ExperimentConfig(
+        scenario=ScenarioConfig(n=2000, seed=1),
+        protocol="flooding", medium="vectorized",
+        message_count=1, message_interval=1.0, warmup=2.0, drain=8.0))
+    assert result.n == 2000
+    assert result.delivery_ratio > 0.95
+    # Flooding: every correct node relays once.
+    assert result.transmissions_per_broadcast > 1500
+
+
+def test_fluid_cross_validation_stays_calibrated():
+    config = ExperimentConfig(
+        scenario=ScenarioConfig(n=80, seed=2), protocol="flooding",
+        medium="vectorized", message_count=2, message_interval=1.5,
+        warmup=6.0, drain=10.0)
+    rows = cross_validate(config, ns=(80, 160))
+    assert [row["n"] for row in rows] == [80, 160]
+    for row in rows:
+        assert row["abs_error"] <= 0.05, row
