@@ -7,6 +7,8 @@ Commands
 ``sweep``     sweep n or the mute count for one protocol
 ``experiments``  list the reconstructed paper experiments and their benches
 ``arena``     protocol registry: list/run/compare every registered protocol
+``serve``     run the always-on campaign service (queue + workers + HTTP)
+``submit``    submit a sweep spec to a running campaign service
 """
 
 from __future__ import annotations
@@ -303,6 +305,49 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes (results identical to "
                            "serial; default 1)")
 
+    serve_p = sub.add_parser(
+        "serve", help="run the always-on campaign service: persistent "
+                      "job queue, resumable workers, HTTP results API "
+                      "+ dashboard")
+    serve_p.add_argument("--dir", default=".repro-service", metavar="DIR",
+                         help="service state directory: jobs/ queue + "
+                              "records/ content-addressed store "
+                              "(default .repro-service)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="listen port; 0 binds an ephemeral port "
+                              "and prints it (default 8765)")
+    serve_p.add_argument("--workers", type=_worker_count, default=1,
+                         help="worker processes per job chunk (records "
+                              "identical to serial; default 1)")
+    serve_p.add_argument("--checkpoint-every", type=float, default=None,
+                         metavar="T",
+                         help="snapshot each running config every T "
+                              "virtual seconds so a killed worker "
+                              "resumes instead of restarting")
+    serve_p.add_argument("--verbose", action="store_true",
+                         help="log every HTTP request")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a sweep spec (JSON file) to a running "
+                       "campaign service")
+    submit_p.add_argument("spec", help="sweep spec JSON file (see "
+                                       "docs/SERVICE.md; e.g. "
+                                       "examples/sweep_mute_grid.json)")
+    submit_p.add_argument("--server", default="http://127.0.0.1:8765",
+                          metavar="URL",
+                          help="service base URL "
+                               "(default http://127.0.0.1:8765)")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the job reaches a terminal "
+                               "state; exit 0 only on success")
+    submit_p.add_argument("--poll", type=float, default=0.5, metavar="T",
+                          help="seconds between --wait polls "
+                               "(default 0.5)")
+    submit_p.add_argument("--json", action="store_true",
+                          help="print the final job document as JSON "
+                               "instead of a summary line")
+
     trace_p = sub.add_parser(
         "trace", help="analyze an exported span trace (see --trace-out)")
     trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
@@ -590,6 +635,86 @@ def _arena_main(args: argparse.Namespace, out) -> int:
     raise AssertionError(f"unhandled arena command {args.arena_command!r}")
 
 
+def _serve_main(args: argparse.Namespace, out) -> int:
+    """The ``repro serve`` command: boot the campaign service and block."""
+    import threading
+
+    from .service import CampaignService, make_server
+
+    service = CampaignService(args.dir, workers=args.workers,
+                              checkpoint_every=args.checkpoint_every)
+    server = make_server(service, host=args.host, port=args.port,
+                         verbose=args.verbose)
+    host, port = server.server_address[:2]
+    # First line is machine-readable: scripts (CI smoke) parse the port.
+    print(f"listening on http://{host}:{port}", file=out, flush=True)
+    print(f"store: {service.store.directory} "
+          f"({len(service.store.keys())} records), "
+          f"queue: {service.queue.directory}, "
+          f"workers: {args.workers}", file=out, flush=True)
+    service.start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+    return 0
+
+
+def _submit_main(args: argparse.Namespace, out) -> int:
+    """The ``repro submit`` command: POST a spec, optionally wait."""
+    import json as _json
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from .service import TERMINAL_STATES, SpecError, SweepSpec
+
+    try:
+        spec = SweepSpec.from_file(args.spec)
+    except (OSError, SpecError) as exc:
+        print(f"bad spec {args.spec}: {exc}", file=out)
+        return 1
+    base = args.server.rstrip("/")
+    request = urllib.request.Request(
+        f"{base}/api/jobs",
+        data=_json.dumps(spec.to_dict()).encode(),
+        headers={"Content-Type": "application/json"})
+
+    def fetch(req):
+        with urllib.request.urlopen(req) as response:
+            return _json.load(response)
+
+    try:
+        job = fetch(request)
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        print(f"submit rejected ({exc.code}): {detail}", file=out)
+        return 1
+    except urllib.error.URLError as exc:
+        print(f"cannot reach {base}: {exc.reason}", file=out)
+        return 1
+    if args.wait:
+        while job["state"] not in TERMINAL_STATES:
+            _time.sleep(args.poll)
+            job = fetch(f"{base}/api/jobs/{job['id']}")
+    if args.json:
+        print(_json.dumps(job, indent=1, sort_keys=True), file=out)
+    else:
+        line = (f"{job['id']} {job['state']}: {job['total']} configs, "
+                f"{job['cache_hits']} cache hits, "
+                f"{job['executed']} executed")
+        if job.get("error"):
+            line += f" — {job['error']}"
+        print(line, file=out)
+    if args.wait:
+        return 0 if job["state"] == "done" else 1
+    return 0
+
+
 def _trace_main(args: argparse.Namespace, out) -> int:
     """The ``repro trace`` subcommand family (span-trace analysis)."""
     if args.trace_command == "validate":
@@ -703,6 +828,12 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
 
     if args.command == "arena":
         return _arena_main(args, out)
+
+    if args.command == "serve":
+        return _serve_main(args, out)
+
+    if args.command == "submit":
+        return _submit_main(args, out)
 
     if args.command == "trace":
         return _trace_main(args, out)

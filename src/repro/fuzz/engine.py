@@ -230,7 +230,8 @@ class Fuzzer:
                     _evaluate,
                     [(target_data, candidate.to_json())
                      for candidate in batch],
-                    workers=config.workers, pool=pool)
+                    workers=1 if pool is not None else config.workers,
+                    pool=pool)
                 for candidate, outcome in zip(batch, outcomes):
                     self._evaluated += 1
                     novel = self._coverage.add(outcome["keys"])

@@ -1,0 +1,36 @@
+"""repro.service — the always-on campaign job service.
+
+Simulation as production infrastructure: many clients submit sweep specs
+(JSON, the same grid `repro sweep` runs), a persistent queue + scheduler
+expands them into config tasks, the content-addressed record store
+(`config_key`) dedupes every config ever computed — identical
+resubmissions are 100% cache hits — and a pool of checkpoint-resumable
+workers executes the remainder.  Results, metric-series CSV, and
+Perfetto counter traces are served over a stdlib HTTP API with a static
+dashboard; `repro serve` / `repro submit` are the CLI front ends.
+
+The service invents no new persistence: the store *is* a `Campaign`
+directory (service records are byte-identical to a serial
+`Campaign.run`'s), jobs are atomic JSON files, and worker preemption
+rides on the existing checkpoint subsystem.
+"""
+
+from .http import ServiceHandler, make_server
+from .queue import JOB_STATES, TERMINAL_STATES, Job, JobQueue
+from .scheduler import CampaignService
+from .spec import SWEEP_PARAMS, SpecError, SweepSpec
+from .store import ResultStore
+
+__all__ = [
+    "CampaignService",
+    "Job",
+    "JobQueue",
+    "JOB_STATES",
+    "ResultStore",
+    "ServiceHandler",
+    "SpecError",
+    "SweepSpec",
+    "SWEEP_PARAMS",
+    "TERMINAL_STATES",
+    "make_server",
+]

@@ -1,0 +1,143 @@
+"""The service's static dashboard page.
+
+One self-contained HTML document (no external assets, no build step)
+that polls the JSON API — ``/api/stats``, ``/api/jobs``,
+``/api/records`` — and renders job states, cache-hit rates, and record
+links.  Served at ``/`` by :mod:`repro.service.http`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro campaign service</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem;
+         color: #1a1a1a; background: #fafafa; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+  table { border-collapse: collapse; width: 100%; background: #fff; }
+  th, td { text-align: left; padding: .35rem .6rem;
+           border-bottom: 1px solid #e4e4e4; font-variant-numeric:
+           tabular-nums; }
+  th { background: #f0f0f0; font-weight: 600; }
+  .stats { display: flex; gap: 1.5rem; flex-wrap: wrap; }
+  .stat { background: #fff; border: 1px solid #e4e4e4; padding:
+          .6rem 1rem; border-radius: 6px; min-width: 7rem; }
+  .stat b { display: block; font-size: 1.4rem; }
+  .state-done { color: #0a7d33; } .state-failed { color: #b3261e; }
+  .state-running { color: #0b57d0; } .state-queued { color: #666; }
+  .state-cancelled { color: #8a6d00; }
+  code { background: #f0f0f0; padding: 0 .25rem; border-radius: 3px; }
+  a { color: #0b57d0; text-decoration: none; }
+</style>
+</head>
+<body>
+<h1>repro campaign service</h1>
+<div class="stats" id="stats"></div>
+<h2>Jobs</h2>
+<table id="jobs"><thead><tr>
+  <th>id</th><th>state</th><th>grid</th><th>cache hits</th>
+  <th>executed</th><th>hit rate</th><th>error</th>
+</tr></thead><tbody></tbody></table>
+<h2>Records</h2>
+<table id="records"><thead><tr>
+  <th>key</th><th>protocol</th><th>n</th><th>byz</th><th>seed</th>
+  <th>delivery</th><th>mean latency</th><th>views</th>
+</tr></thead><tbody></tbody></table>
+<script>
+async function fetchJSON(url) {
+  const response = await fetch(url);
+  if (!response.ok) throw new Error(url + ": " + response.status);
+  return response.json();
+}
+function cell(text, cls) {
+  const td = document.createElement("td");
+  if (cls) td.className = cls;
+  if (text instanceof Node) td.appendChild(text); else td.textContent = text;
+  return td;
+}
+function ratio(hits, total) {
+  return total ? (100 * hits / total).toFixed(1) + "%" : "-";
+}
+async function refresh() {
+  try {
+    const [stats, jobs, records] = await Promise.all([
+      fetchJSON("/api/stats"), fetchJSON("/api/jobs"),
+      fetchJSON("/api/records")]);
+    const statsBox = document.getElementById("stats");
+    statsBox.innerHTML = "";
+    const tiles = [
+      ["jobs", stats.jobs], ["records", stats.records],
+      ["configs seen", stats.configs_total],
+      ["executed", stats.executed],
+      ["cache hit rate", ratio(stats.cache_hits, stats.configs_total)],
+      ["workers", stats.workers]];
+    for (const [label, value] of tiles) {
+      const div = document.createElement("div");
+      div.className = "stat";
+      const b = document.createElement("b");
+      b.textContent = value === null ? "-" : value;
+      div.appendChild(b);
+      div.appendChild(document.createTextNode(label));
+      statsBox.appendChild(div);
+    }
+    const jobsBody = document.querySelector("#jobs tbody");
+    jobsBody.innerHTML = "";
+    for (const job of jobs.slice().reverse()) {
+      const tr = document.createElement("tr");
+      tr.appendChild(cell(job.id));
+      tr.appendChild(cell(job.state, "state-" + job.state));
+      tr.appendChild(cell(job.total));
+      tr.appendChild(cell(job.cache_hits));
+      tr.appendChild(cell(job.executed));
+      tr.appendChild(cell(ratio(job.cache_hits, job.total)));
+      tr.appendChild(cell(job.error || ""));
+      jobsBody.appendChild(tr);
+    }
+    const recordsBody = document.querySelector("#records tbody");
+    recordsBody.innerHTML = "";
+    for (const record of records) {
+      const tr = document.createElement("tr");
+      const link = document.createElement("a");
+      link.href = "/api/records/" + record.key;
+      link.textContent = record.key;
+      tr.appendChild(cell(link));
+      tr.appendChild(cell(record.protocol));
+      tr.appendChild(cell(record.n));
+      tr.appendChild(cell(record.byzantine));
+      tr.appendChild(cell(record.seed));
+      tr.appendChild(cell(record.delivery_ratio == null ? "-"
+                          : record.delivery_ratio.toFixed(3)));
+      tr.appendChild(cell(record.mean_latency == null ? "-"
+                          : record.mean_latency.toFixed(4)));
+      const views = document.createElement("span");
+      if (record.has_metrics) {
+        const csv = document.createElement("a");
+        csv.href = "/api/records/" + record.key + "/series.csv";
+        csv.textContent = "csv";
+        const perfetto = document.createElement("a");
+        perfetto.href = "/api/records/" + record.key + "/trace.json";
+        perfetto.textContent = "perfetto";
+        views.appendChild(csv);
+        views.appendChild(document.createTextNode(" \\u00b7 "));
+        views.appendChild(perfetto);
+      } else {
+        views.textContent = "-";
+      }
+      tr.appendChild(cell(views));
+      recordsBody.appendChild(tr);
+    }
+  } catch (err) {
+    console.error(err);
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,182 @@
+"""The service's HTTP layer — stdlib ``http.server``, no new deps.
+
+Routes (all JSON unless noted):
+
+========  ==================================  ===============================
+method    path                                what
+========  ==================================  ===============================
+GET       /                                   static dashboard (HTML)
+GET       /api/health                         liveness probe
+GET       /api/stats                          aggregate counters + hit rate
+GET       /api/jobs                           all jobs, submission order
+POST      /api/jobs                           submit a sweep spec (JSON body)
+GET       /api/jobs/<id>                      one job
+POST      /api/jobs/<id>/cancel               cancel (bounded latency)
+GET       /api/records                        record summaries
+GET       /api/records/<key>                  full campaign record
+GET       /api/records/<key>/series.csv       metric series (text/csv)
+GET       /api/records/<key>/trace.json       Perfetto trace_event counters
+========  ==================================  ===============================
+
+Errors are ``{"error": ...}`` bodies: 400 for malformed specs/JSON, 404
+for unknown jobs, records, or routes.  The server is a
+``ThreadingHTTPServer``; handlers only touch the thread-safe
+:class:`CampaignService` surface (queue lock inside).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from .dashboard import DASHBOARD_HTML
+from .scheduler import CampaignService
+from .spec import SpecError
+
+__all__ = ["ServiceHandler", "make_server"]
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request; dispatches on (method, split path)."""
+
+    #: Bound by :func:`make_server`.
+    service: CampaignService = None  # type: ignore[assignment]
+    #: Quiet by default; ``make_server(verbose=True)`` restores logging.
+    verbose = False
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, code: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=1, sort_keys=True).encode()
+        self._send(code, body, "application/json")
+
+    def _error(self, code: int, message: str) -> None:
+        self._json(code, {"error": message})
+
+    def _read_body(self) -> Optional[Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            self._error(400, "empty request body; expected a JSON spec")
+            return None
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._error(400, f"request body is not valid JSON: {exc}")
+            return None
+
+    def _parts(self) -> Tuple[str, ...]:
+        path = self.path.split("?", 1)[0]
+        return tuple(part for part in path.split("/") if part)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        parts = self._parts()
+        if parts == () or parts == ("dashboard",):
+            self._send(200, DASHBOARD_HTML.encode(),
+                       "text/html; charset=utf-8")
+            return
+        if parts == ("api", "health"):
+            self._json(200, {"status": "ok",
+                             "directory": self.service.directory})
+            return
+        if parts == ("api", "stats"):
+            self._json(200, self.service.stats())
+            return
+        if parts == ("api", "jobs"):
+            self._json(200, [job.to_dict()
+                             for job in self.service.queue.jobs()])
+            return
+        if len(parts) == 3 and parts[:2] == ("api", "jobs"):
+            job = self.service.queue.get(parts[2])
+            if job is None:
+                self._error(404, f"no such job {parts[2]!r}")
+                return
+            self._json(200, job.to_dict())
+            return
+        if parts == ("api", "records"):
+            self._json(200, self.service.store.summaries())
+            return
+        if len(parts) >= 3 and parts[:2] == ("api", "records"):
+            self._records_get(parts[2:])
+            return
+        self._error(404, f"no such route GET {self.path}")
+
+    def _records_get(self, parts: Tuple[str, ...]) -> None:
+        record = self.service.store.load_key(parts[0])
+        if record is None:
+            self._error(404, f"no record for key {parts[0]!r}")
+            return
+        if len(parts) == 1:
+            self._json(200, record)
+            return
+        if parts[1:] == ("series.csv",):
+            csv = self.service.store.series_csv(record)
+            if csv is None:
+                self._error(404,
+                            f"record {parts[0]!r} has no metric series "
+                            "(submit the spec with \"observe\": true)")
+                return
+            self._send(200, csv.encode(), "text/csv; charset=utf-8")
+            return
+        if parts[1:] == ("trace.json",):
+            trace = self.service.store.counter_trace(record)
+            if trace is None:
+                self._error(404,
+                            f"record {parts[0]!r} has no metric series "
+                            "(submit the spec with \"observe\": true)")
+                return
+            self._json(200, trace)
+            return
+        self._error(404, f"no such route GET {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        parts = self._parts()
+        if parts == ("api", "jobs"):
+            spec = self._read_body()
+            if spec is None:
+                return
+            try:
+                job = self.service.submit(spec)
+            except SpecError as exc:
+                self._error(400, f"bad spec: {exc}")
+                return
+            self._json(201, job.to_dict())
+            return
+        if (len(parts) == 4 and parts[:2] == ("api", "jobs")
+                and parts[3] == "cancel"):
+            job = self.service.cancel(parts[2])
+            if job is None:
+                self._error(404, f"no such job {parts[2]!r}")
+                return
+            self._json(200, job.to_dict())
+            return
+        self._error(404, f"no such route POST {self.path}")
+
+
+def make_server(service: CampaignService, host: str = "127.0.0.1",
+                port: int = 0, *,
+                verbose: bool = False) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server bound to ``service``.
+
+    ``port=0`` binds an ephemeral port; read the real one from
+    ``server.server_address``.  Call ``serve_forever()`` (typically on a
+    thread) and ``shutdown()``/``server_close()`` to stop.
+    """
+    handler = type("BoundServiceHandler", (ServiceHandler,),
+                   {"service": service, "verbose": verbose})
+    return ThreadingHTTPServer((host, port), handler)

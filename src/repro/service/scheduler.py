@@ -1,0 +1,185 @@
+"""The campaign scheduler: specs in, deduped records out.
+
+:class:`CampaignService` ties the pieces together — a persistent
+:class:`JobQueue`, the content-addressed :class:`ResultStore`, and the
+existing ``Campaign``/``parallel_map``/checkpoint machinery as the
+execution engine.  One scheduler thread drains the queue; each job's
+spec expands into its config grid, every config whose ``config_key``
+already has a record counts as a cache hit (zero recomputation of shared
+sub-sweeps — the whole point of the service), and the remainder runs
+through ``Campaign.run`` in chunks so cancellation and preemption have
+bounded latency.
+
+Resumability comes in two layers, both inherited rather than invented
+here: a SIGTERM-killed *worker process* leaves a ``CheckpointConfig``
+snapshot that the next run of the same config picks up mid-simulation,
+and a killed *service process* leaves its job marked ``running``, which
+startup recovery re-queues — the finished records are already in the
+store, so the re-run is cache hits plus one checkpoint resume.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Optional
+
+from ..sim.campaign import CampaignError
+from ..sim.checkpoint import config_key
+from .queue import Job, JobQueue
+from .spec import SpecError, SweepSpec
+from .store import ResultStore
+
+__all__ = ["CampaignService"]
+
+
+class CampaignService:
+    """An always-on campaign job service over one state directory.
+
+    Layout: ``<directory>/jobs/`` (queue), ``<directory>/records/`` (the
+    content-addressed store; ``records/checkpoints/`` holds worker
+    snapshots while checkpointing is enabled).
+    """
+
+    def __init__(self, directory: str, *, workers: int = 1,
+                 checkpoint_every: Optional[float] = None,
+                 chunk_size: Optional[int] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.queue = JobQueue(os.path.join(directory, "jobs"))
+        self.store = ResultStore(os.path.join(directory, "records"))
+        self.workers = workers
+        self.checkpoint_every = checkpoint_every
+        #: Configs per ``Campaign.run`` call: large enough that the pool
+        #: fork amortizes, small enough that cancel/kill react promptly.
+        self.chunk_size = chunk_size or max(4 * workers, 8)
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.queue.requeue_running()
+
+    # ------------------------------------------------------------------
+    # Client-facing operations (called from HTTP handler threads)
+    # ------------------------------------------------------------------
+    def submit(self, spec_data: Any) -> Job:
+        """Validate and enqueue one sweep spec; raises :class:`SpecError`
+        on a malformed submission (nothing reaches the queue)."""
+        spec = SweepSpec.from_dict(spec_data)
+        job = self.queue.submit(spec.to_dict())
+        self._wake.set()
+        return job
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        return self.queue.cancel(job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate service counters: per-state job counts, grid totals,
+        cache-hit rate, and store size — the dashboard's numbers."""
+        jobs = self.queue.jobs()
+        states: Dict[str, int] = {}
+        total = hits = executed = 0
+        for job in jobs:
+            states[job.state] = states.get(job.state, 0) + 1
+            total += job.total
+            hits += job.cache_hits
+            executed += job.executed
+        return {
+            "jobs": len(jobs),
+            "states": states,
+            "configs_total": total,
+            "cache_hits": hits,
+            "executed": executed,
+            "cache_hit_rate": (hits / total) if total else None,
+            "records": len(self.store.keys()),
+            "workers": self.workers,
+        }
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def process_once(self) -> Optional[Job]:
+        """Claim and fully process one queued job; None when idle."""
+        job = self.queue.claim_next()
+        if job is None:
+            return None
+        return self._run_job(job)
+
+    def run_until_idle(self) -> int:
+        """Drain the queue synchronously (tests, one-shot batch mode);
+        returns the number of jobs processed."""
+        processed = 0
+        while self.process_once() is not None:
+            processed += 1
+        return processed
+
+    def _run_job(self, job: Job) -> Job:
+        try:
+            spec = SweepSpec.from_dict(job.spec)
+            configs = spec.expand()
+        except SpecError as exc:
+            return self.queue.update(job.id, state="failed",
+                                     error=str(exc))
+        keys = [config_key(config) for config in configs]
+        # Task-level dedupe: the first occurrence of a key not yet in the
+        # store runs; everything else — within-job duplicates and records
+        # from earlier jobs — is a cache hit.
+        seen: set = set()
+        pending = []
+        for config, key in zip(configs, keys):
+            if key not in seen and not self.store.has_key(key):
+                pending.append(config)
+            seen.add(key)
+        job = self.queue.update(
+            job.id, total=len(configs),
+            cache_hits=len(configs) - len(pending), keys=keys)
+        executed = 0
+        try:
+            for start in range(0, len(pending), self.chunk_size):
+                current = self.queue.get(job.id)
+                if current is not None and current.cancel_requested:
+                    return self.queue.update(job.id, state="cancelled",
+                                             executed=executed)
+                chunk = pending[start:start + self.chunk_size]
+                done, _ = self.store.campaign.run(
+                    chunk, workers=self.workers,
+                    checkpoint_every=self.checkpoint_every)
+                executed += done
+                self.queue.update(job.id, executed=executed)
+        except CampaignError as exc:
+            # Partial progress is already persisted; account for it.
+            return self.queue.update(job.id, state="failed",
+                                     executed=executed + exc.executed,
+                                     error=str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            return self.queue.update(job.id, state="failed",
+                                     executed=executed, error=str(exc))
+        return self.queue.update(job.id, state="done", executed=executed)
+
+    # ------------------------------------------------------------------
+    # Background thread
+    # ------------------------------------------------------------------
+    def _loop(self, poll: float) -> None:
+        while not self._stop.is_set():
+            if self.process_once() is None:
+                self._wake.wait(timeout=poll)
+                self._wake.clear()
+
+    def start(self, poll: float = 0.5) -> None:
+        """Start the scheduler thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, args=(poll,), daemon=True,
+            name="repro-campaign-scheduler")
+        self._thread.start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the scheduler thread after its current job finishes."""
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None

@@ -20,13 +20,32 @@ import dataclasses
 import json
 import multiprocessing
 import os
+import warnings
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..workloads.scenarios import AdversaryMix, ScenarioConfig
 from .checkpoint import CheckpointConfig, _jsonable, config_key
 from .experiment import ExperimentConfig, ExperimentResult, run_experiment
 
-__all__ = ["Campaign", "config_key", "parallel_map", "result_to_record"]
+__all__ = ["Campaign", "CampaignError", "config_key", "parallel_map",
+           "result_to_record"]
+
+
+class CampaignError(RuntimeError):
+    """A campaign run failed partway through its pending configurations.
+
+    Every record completed before the failure has already been persisted
+    (records stream back in task order and are written as they arrive);
+    ``executed`` and ``skipped`` carry the counts the run would have
+    returned, so a caller can account for the partial progress and simply
+    re-run the campaign — resume/skip semantics pick up the remainder.
+    """
+
+    def __init__(self, message: str, *, executed: int = 0,
+                 skipped: int = 0) -> None:
+        super().__init__(message)
+        self.executed = executed
+        self.skipped = skipped
 
 
 def parallel_map(func: Callable[[Any], Any], tasks: Iterable[Any], *,
@@ -34,7 +53,7 @@ def parallel_map(func: Callable[[Any], Any], tasks: Iterable[Any], *,
                  on_result: Optional[Callable[[Any, Any], None]] = None
                  ) -> List[Any]:
     """Order-preserving map over a worker pool — the one parallel fabric
-    campaigns and fuzzing loops share.
+    campaigns, fuzzing loops, and the campaign service share.
 
     ``func`` must be a module-level callable and every task picklable.
     Results come back in task order regardless of ``workers``, which is
@@ -44,30 +63,36 @@ def parallel_map(func: Callable[[Any], Any], tasks: Iterable[Any], *,
     them via ``imap`` so a long campaign persists finished work before
     the slowest task completes.  Pass ``pool`` to reuse a long-lived
     ``multiprocessing.Pool`` across many calls (the fuzzer evaluates one
-    small batch per generation; re-forking per batch would dominate).
+    small batch per generation; re-forking per batch would dominate);
+    ``pool`` and ``workers`` are mutually exclusive — the pool's own
+    process count governs, so a ``workers`` override would silently lie.
     """
     tasks = list(tasks)
     if workers < 1:
         raise ValueError(f"workers must be >= 1: {workers}")
-    results: List[Any] = []
+    if pool is not None and workers != 1:
+        raise ValueError(
+            "pass either workers or pool, not both: the pool's process "
+            f"count governs, workers={workers} would be ignored")
+    owned: Optional[multiprocessing.pool.Pool] = None
     if pool is not None:
         iterator = pool.imap(func, tasks, chunksize=1)
     elif workers == 1 or len(tasks) <= 1:
         iterator = map(func, tasks)
     else:
-        with multiprocessing.Pool(processes=min(workers, len(tasks))) \
-                as owned:
-            for task, result in zip(tasks, owned.imap(func, tasks,
-                                                      chunksize=1)):
-                if on_result is not None:
-                    on_result(task, result)
-                results.append(result)
-            return results
-    for task, result in zip(tasks, iterator):
-        if on_result is not None:
-            on_result(task, result)
-        results.append(result)
-    return results
+        owned = multiprocessing.Pool(processes=min(workers, len(tasks)))
+        iterator = owned.imap(func, tasks, chunksize=1)
+    try:
+        results: List[Any] = []
+        for task, result in zip(tasks, iterator):
+            if on_result is not None:
+                on_result(task, result)
+            results.append(result)
+        return results
+    finally:
+        if owned is not None:
+            owned.terminate()
+            owned.join()
 
 
 def result_to_record(config: ExperimentConfig,
@@ -141,21 +166,51 @@ class Campaign:
     def has(self, config: ExperimentConfig) -> bool:
         return os.path.exists(self._path(config_key(config)))
 
-    def load(self, config: ExperimentConfig) -> Optional[Dict[str, Any]]:
-        path = self._path(config_key(config))
+    def _read(self, path: str) -> Optional[Dict[str, Any]]:
+        """Parse one record file; quarantine it if it is corrupt.
+
+        A truncated or garbled record (killed writer on a non-atomic
+        filesystem, disk fault, stray hand edit) must not take down the
+        whole campaign — mirroring the checkpoint loader's corrupt-file
+        fallback, the file is renamed to ``<key>.json.corrupt`` with a
+        warning and treated as absent, so the next run recomputes it.
+        """
         if not os.path.exists(path):
             return None
-        with open(path) as handle:
-            return json.load(handle)
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            quarantined = path + ".corrupt"
+            os.replace(path, quarantined)
+            warnings.warn(
+                f"quarantined corrupt campaign record {path} -> "
+                f"{quarantined}: {exc}", RuntimeWarning, stacklevel=3)
+            return None
+
+    def load(self, config: ExperimentConfig) -> Optional[Dict[str, Any]]:
+        return self.load_key(config_key(config))
+
+    def load_key(self, key: str) -> Optional[Dict[str, Any]]:
+        """The persisted record for one content-hash key, or None."""
+        return self._read(self._path(key))
+
+    def keys(self) -> List[str]:
+        """Every persisted record key, sorted for determinism."""
+        return sorted(name[:-len(".json")]
+                      for name in os.listdir(self._directory)
+                      if name.endswith(".json"))
 
     def records(self) -> List[Dict[str, Any]]:
-        """All persisted records, sorted by key for determinism."""
+        """All persisted records, sorted by key for determinism.
+
+        Corrupt record files are quarantined and skipped (see
+        :meth:`_read`), never raised."""
         out = []
-        for name in sorted(os.listdir(self._directory)):
-            if not name.endswith(".json"):
-                continue
-            with open(os.path.join(self._directory, name)) as handle:
-                out.append(json.load(handle))
+        for key in self.keys():
+            record = self._read(self._path(key))
+            if record is not None:
+                out.append(record)
         return out
 
     # ------------------------------------------------------------------
@@ -188,8 +243,12 @@ class Campaign:
         claimed = set()
         for config in configs:
             key = config_key(config)
-            done = os.path.exists(self._path(key)) or key in claimed
-            if not force and done:
+            # A key claimed earlier in this same call is never run twice:
+            # ``force`` overrides the on-disk record, not within-call
+            # dedupe — duplicate configs in one batch would race two
+            # writers on the same file under workers > 1.
+            if key in claimed or (not force
+                                  and os.path.exists(self._path(key))):
                 skipped += 1
                 continue
             claimed.add(key)
@@ -204,8 +263,15 @@ class Campaign:
                     progress(
                         f"running {config.protocol} n={config.scenario.n} "
                         f"seed={config.scenario.seed} [{key}]")
-                self._write(key, result_to_record(config,
-                                                  run_experiment(config)))
+                try:
+                    record = result_to_record(config, run_experiment(config))
+                except Exception as exc:
+                    raise CampaignError(
+                        f"campaign run failed on [{key}] after {executed} "
+                        f"of {len(pending)} pending records were persisted: "
+                        f"{exc}", executed=executed, skipped=skipped
+                    ) from exc
+                self._write(key, record)
                 executed += 1
             return executed, skipped
         if progress is not None:
@@ -214,14 +280,25 @@ class Campaign:
                          f"seed={config.scenario.seed} [{key}]")
 
         def persist(task, outcome):
+            nonlocal executed
             key, record = outcome
             self._write(key, record)
+            executed += 1
             if progress is not None:
                 progress(f"finished [{key}]")
 
-        parallel_map(_run_record, pending, workers=workers,
-                     on_result=persist)
-        executed += len(pending)
+        # ``executed`` counts records actually written: the persist
+        # callback streams results back in task order, so on a worker
+        # failure everything completed before the failing task is already
+        # on disk and the error surfaces with the true partial count.
+        try:
+            parallel_map(_run_record, pending, workers=workers,
+                         on_result=persist)
+        except Exception as exc:
+            raise CampaignError(
+                f"campaign worker failed after {executed} of "
+                f"{len(pending)} pending records were persisted: {exc}",
+                executed=executed, skipped=skipped) from exc
         return executed, skipped
 
     def _write(self, key: str, record: Dict[str, Any]) -> None:

@@ -1,0 +1,30 @@
+"""Shared fixtures for the campaign-service suite."""
+
+import threading
+
+import pytest
+
+from repro.service import CampaignService, make_server
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A service over a fresh state directory — scheduler NOT started,
+    so tests control execution deterministically via run_until_idle()."""
+    return CampaignService(str(tmp_path / "service"), workers=1)
+
+
+@pytest.fixture
+def server(service):
+    """The service's HTTP server on an ephemeral port, plus its base
+    URL.  Yields ``(service, base_url)``."""
+    httpd = make_server(service)
+    host, port = httpd.server_address[:2]
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, f"http://{host}:{port}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.stop(timeout=5.0)
