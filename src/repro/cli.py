@@ -9,6 +9,7 @@ Commands
 ``arena``     protocol registry: list/run/compare every registered protocol
 ``serve``     run the always-on campaign service (queue + workers + HTTP)
 ``submit``    submit a sweep spec to a running campaign service
+``bench``     benchmark artifact tools (perf-regression sentinel)
 """
 
 from __future__ import annotations
@@ -45,6 +46,7 @@ from .sim.experiment import (
 )
 from .sim.render import format_rows
 from .sim.sweeps import run_sweep
+from .telemetry.bench import METRICS as _BENCH_METRICS
 from .workloads.scenarios import AdversaryMix, ScenarioConfig
 
 __all__ = ["main", "build_parser"]
@@ -326,7 +328,8 @@ def build_parser() -> argparse.ArgumentParser:
                               "virtual seconds so a killed worker "
                               "resumes instead of restarting")
     serve_p.add_argument("--verbose", action="store_true",
-                         help="log every HTTP request")
+                         help="log every HTTP request (structured JSONL, "
+                              "like all service logs)")
 
     submit_p = sub.add_parser(
         "submit", help="submit a sweep spec (JSON file) to a running "
@@ -347,6 +350,27 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--json", action="store_true",
                           help="print the final job document as JSON "
                                "instead of a summary line")
+
+    bench_p = sub.add_parser(
+        "bench", help="benchmark artifact tools (perf-regression "
+                      "sentinel over pytest-benchmark JSON)")
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+
+    bc_p = bench_sub.add_parser(
+        "compare", help="diff two pytest-benchmark artifacts; exit 1 "
+                        "when any benchmark regressed past the threshold")
+    bc_p.add_argument("baseline",
+                      help="baseline artifact (--benchmark-json output), "
+                           "e.g. benchmarks/results/bench_baseline.json")
+    bc_p.add_argument("current", help="current artifact to compare")
+    bc_p.add_argument("--threshold", type=float, default=20.0,
+                      metavar="PCT",
+                      help="regression tolerance in percent (default 20)")
+    bc_p.add_argument("--metric", choices=_BENCH_METRICS, default="min",
+                      help="stat to compare (default min — least noisy "
+                           "for CPU-bound benches)")
+    bc_p.add_argument("--warn-only", action="store_true",
+                      help="report regressions but always exit 0")
 
     trace_p = sub.add_parser(
         "trace", help="analyze an exported span trace (see --trace-out)")
@@ -480,6 +504,16 @@ def _print_report(result, out, *, oracle: bool = False) -> None:
               f"samples", file=out)
         if summary:
             print(f"  top phases: {summary}", file=out)
+    if result.runtime and result.runtime.get("wall_seconds") is not None:
+        rt = result.runtime
+        line = f"\nruntime: {rt['wall_seconds']:.3f}s wall"
+        if rt.get("events"):
+            line += f", {rt['events']} kernel events"
+            if rt.get("events_per_second"):
+                line += f" ({rt['events_per_second']:.0f}/s)"
+        if rt.get("peak_rss_kb"):
+            line += f", peak RSS {rt['peak_rss_kb'] / 1024:.0f} MB"
+        print(line, file=out)
     if result.chaos_events:
         print(f"\nchaos: {result.chaos_events} fault events applied",
               file=out)
@@ -635,11 +669,33 @@ def _arena_main(args: argparse.Namespace, out) -> int:
     raise AssertionError(f"unhandled arena command {args.arena_command!r}")
 
 
-def _serve_main(args: argparse.Namespace, out) -> int:
-    """The ``repro serve`` command: boot the campaign service and block."""
+def _make_shutdown_handler(server, out):
+    """Signal handler factory for ``repro serve`` (module-level so the
+    regression test can simulate a signal without delivering one).
+
+    The handler only asks ``serve_forever`` to return — and it must do so
+    from another thread, because ``shutdown()`` blocks until the serve
+    loop (the very thread signals are delivered on) acknowledges.  The
+    ``finally`` block in :func:`_serve_main` then runs the graceful
+    teardown: ``CampaignService.stop()`` requeues the running job at its
+    next chunk boundary with progress persisted.
+    """
+    import signal
     import threading
 
+    def handle(signum, frame):
+        name = signal.Signals(signum).name
+        print(f"received {name}; shutting down", file=out, flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+    return handle
+
+
+def _serve_main(args: argparse.Namespace, out) -> int:
+    """The ``repro serve`` command: boot the campaign service and block."""
+    import signal
+
     from .service import CampaignService, make_server
+    from .telemetry.log import configure as configure_logging
 
     service = CampaignService(args.dir, workers=args.workers,
                               checkpoint_every=args.checkpoint_every)
@@ -652,16 +708,52 @@ def _serve_main(args: argparse.Namespace, out) -> int:
           f"({len(service.store.keys())} records), "
           f"queue: {service.queue.directory}, "
           f"workers: {args.workers}", file=out, flush=True)
+    # Uniform JSONL service logs on stderr (after the banner, so the
+    # machine-readable first line stays first even under 2>&1).
+    configure_logging()
+    handler = _make_shutdown_handler(server, out)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, handler)
     service.start()
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
         print("shutting down", file=out)
     finally:
         server.shutdown()
         server.server_close()
         service.stop()
     return 0
+
+
+def _bench_main(args: argparse.Namespace, out) -> int:
+    """The ``repro bench`` subcommand family (regression sentinel)."""
+    from .telemetry.bench import (
+        BenchCompareError,
+        compare_artifacts,
+        format_report,
+        load_artifact,
+    )
+
+    if args.bench_command == "compare":
+        try:
+            rows = compare_artifacts(
+                load_artifact(args.baseline), load_artifact(args.current),
+                threshold_pct=args.threshold, metric=args.metric)
+        except BenchCompareError as exc:
+            print(f"bench compare failed: {exc}", file=out)
+            return 2
+        print(format_report(rows, threshold_pct=args.threshold), file=out)
+        regressions = [row for row in rows
+                       if row["status"] == "regression"]
+        if regressions and args.warn_only:
+            print("warn-only: regressions reported but exit stays 0",
+                  file=out)
+        if regressions and not args.warn_only:
+            return 1
+        return 0
+
+    raise AssertionError(f"unhandled bench command {args.bench_command!r}")
 
 
 def _submit_main(args: argparse.Namespace, out) -> int:
@@ -834,6 +926,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
 
     if args.command == "submit":
         return _submit_main(args, out)
+
+    if args.command == "bench":
+        return _bench_main(args, out)
 
     if args.command == "trace":
         return _trace_main(args, out)

@@ -34,11 +34,15 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 from ..chaos.schedule import FaultSchedule
 from ..obs.coverage import CoverageMap
 from ..sim.campaign import parallel_map
+from ..sim.experiment import pool_worker_init
+from ..telemetry.log import event, get_logger
 from .corpus import CorpusEntry, TargetSpec, write_entry
 from .mutate import ScheduleMutator
 from .shrink import shrink_events
 
 __all__ = ["FuzzConfig", "FuzzReport", "Fuzzer", "fuzz"]
+
+_log = get_logger("fuzz.engine")
 
 
 @dataclass(frozen=True)
@@ -188,6 +192,8 @@ class Fuzzer:
         self._log(f"failure {'/'.join(signature)} at iteration "
                   f"{self._evaluated}: shrinking "
                   f"{len(candidate.events)} events")
+        event(_log, "fuzz.failure", signature=list(signature),
+              iteration=self._evaluated, events=len(candidate.events))
         shrunk = shrink_events(candidate,
                                self._shrink_predicate(signature),
                                budget=self._config.shrink_budget)
@@ -220,7 +226,8 @@ class Fuzzer:
         if config.workers > 1:
             # Fork the worker pool before any run has patched classes in
             # this process (shrinking patches them transiently).
-            pool = multiprocessing.Pool(processes=config.workers)
+            pool = multiprocessing.Pool(processes=config.workers,
+                                        initializer=pool_worker_init)
         try:
             while self._evaluated < config.iterations:
                 room = config.iterations - self._evaluated
@@ -239,6 +246,9 @@ class Fuzzer:
                         self._admit(candidate)
                     if outcome["signature"]:
                         self._record_failure(candidate, outcome)
+                event(_log, "fuzz.generation", evaluated=self._evaluated,
+                      pool=len(self._pool), failures=len(self._failures),
+                      coverage=len(self._coverage.snapshot()))
                 if (config.stop_after_failures is not None
                         and len(self._failures)
                         >= config.stop_after_failures):

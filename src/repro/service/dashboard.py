@@ -2,8 +2,11 @@
 
 One self-contained HTML document (no external assets, no build step)
 that polls the JSON API — ``/api/stats``, ``/api/jobs``,
-``/api/records`` — and renders job states, cache-hit rates, and record
-links.  Served at ``/`` by :mod:`repro.service.http`.
+``/api/records`` — and renders job states, cache-hit rates, queue
+depth, and record links.  Running jobs additionally open a long-poll
+against ``/api/jobs/<id>/progress`` so their progress bars advance at
+chunk granularity, faster than the 2-second refresh.  Served at ``/``
+by :mod:`repro.service.http`.
 """
 
 from __future__ import annotations
@@ -33,6 +36,11 @@ DASHBOARD_HTML = """<!DOCTYPE html>
   .state-cancelled { color: #8a6d00; }
   code { background: #f0f0f0; padding: 0 .25rem; border-radius: 3px; }
   a { color: #0b57d0; text-decoration: none; }
+  .bar { width: 9rem; height: .7rem; background: #e4e4e4;
+         border-radius: 4px; overflow: hidden; }
+  .bar div { height: 100%; background: #0b57d0; width: 0;
+             transition: width .3s ease; }
+  .bar div.ok { background: #0a7d33; }
 </style>
 </head>
 <body>
@@ -40,8 +48,8 @@ DASHBOARD_HTML = """<!DOCTYPE html>
 <div class="stats" id="stats"></div>
 <h2>Jobs</h2>
 <table id="jobs"><thead><tr>
-  <th>id</th><th>state</th><th>grid</th><th>cache hits</th>
-  <th>executed</th><th>hit rate</th><th>error</th>
+  <th>id</th><th>state</th><th>progress</th><th>grid</th>
+  <th>cache hits</th><th>executed</th><th>hit rate</th><th>error</th>
 </tr></thead><tbody></tbody></table>
 <h2>Records</h2>
 <table id="records"><thead><tr>
@@ -63,6 +71,48 @@ function cell(text, cls) {
 function ratio(hits, total) {
   return total ? (100 * hits / total).toFixed(1) + "%" : "-";
 }
+function barWidth(job) {
+  const done = (job.cache_hits || 0) + (job.executed || 0);
+  return job.total ? Math.min(100, 100 * done / job.total) : 0;
+}
+function progressCell(job) {
+  const wrap = document.createElement("div");
+  wrap.className = "bar";
+  wrap.id = "bar-" + job.id;
+  const fill = document.createElement("div");
+  if (job.state === "done") fill.className = "ok";
+  fill.style.width = barWidth(job) + "%";
+  wrap.appendChild(fill);
+  wrap.title = ((job.cache_hits || 0) + (job.executed || 0)) +
+               "/" + (job.total || 0);
+  return wrap;
+}
+const pollers = new Set();
+async function longPoll(id) {
+  // Chunk-granular live progress for one running job; falls back to the
+  // 2s refresh if the long-poll errors out.
+  if (pollers.has(id)) return;
+  pollers.add(id);
+  let since = -1;
+  try {
+    for (;;) {
+      const p = await fetchJSON("/api/jobs/" + id +
+                                "/progress?since=" + since + "&timeout=20");
+      since = p.version;
+      const bar = document.getElementById("bar-" + id);
+      if (bar) {
+        bar.firstChild.style.width = barWidth(p) + "%";
+        bar.title = (p.cache_hits + p.executed) + "/" + p.total;
+      }
+      if (p.state !== "running" && p.state !== "queued") break;
+    }
+  } catch (err) {
+    console.error(err);
+  } finally {
+    pollers.delete(id);
+    refresh();
+  }
+}
 async function refresh() {
   try {
     const [stats, jobs, records] = await Promise.all([
@@ -71,7 +121,10 @@ async function refresh() {
     const statsBox = document.getElementById("stats");
     statsBox.innerHTML = "";
     const tiles = [
-      ["jobs", stats.jobs], ["records", stats.records],
+      ["jobs", stats.jobs],
+      ["queue depth", stats.queue_depth],
+      ["worker", stats.worker_busy ? "busy" : "idle"],
+      ["records", stats.records],
       ["configs seen", stats.configs_total],
       ["executed", stats.executed],
       ["cache hit rate", ratio(stats.cache_hits, stats.configs_total)],
@@ -91,12 +144,14 @@ async function refresh() {
       const tr = document.createElement("tr");
       tr.appendChild(cell(job.id));
       tr.appendChild(cell(job.state, "state-" + job.state));
+      tr.appendChild(cell(progressCell(job)));
       tr.appendChild(cell(job.total));
       tr.appendChild(cell(job.cache_hits));
       tr.appendChild(cell(job.executed));
       tr.appendChild(cell(ratio(job.cache_hits, job.total)));
       tr.appendChild(cell(job.error || ""));
       jobsBody.appendChild(tr);
+      if (job.state === "running") longPoll(job.id);
     }
     const recordsBody = document.querySelector("#records tbody");
     recordsBody.innerHTML = "";

@@ -6,11 +6,13 @@ Routes (all JSON unless noted):
 method    path                                what
 ========  ==================================  ===============================
 GET       /                                   static dashboard (HTML)
+GET       /metrics                            Prometheus text exposition
 GET       /api/health                         liveness probe
 GET       /api/stats                          aggregate counters + hit rate
 GET       /api/jobs                           all jobs, submission order
 POST      /api/jobs                           submit a sweep spec (JSON body)
 GET       /api/jobs/<id>                      one job
+GET       /api/jobs/<id>/progress             long-poll live progress
 POST      /api/jobs/<id>/cancel               cancel (bounded latency)
 GET       /api/records                        record summaries
 GET       /api/records/<key>                  full campaign record
@@ -28,13 +30,17 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
+from ..telemetry.log import event, get_logger
 from .dashboard import DASHBOARD_HTML
 from .scheduler import CampaignService
 from .spec import SpecError
 
 __all__ = ["ServiceHandler", "make_server"]
+
+_log = get_logger("service.http")
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -49,8 +55,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     def log_message(self, format: str, *args: Any) -> None:
+        # Route through the structured logger instead of the stdlib's
+        # stderr formatting so verbose service logs stay uniform JSONL.
         if self.verbose:
-            super().log_message(format, *args)
+            event(_log, "http.request",
+                  client=self.client_address[0],
+                  message=format % args)
 
     # ------------------------------------------------------------------
     def _send(self, code: int, body: bytes, content_type: str) -> None:
@@ -83,12 +93,24 @@ class ServiceHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         return tuple(part for part in path.split("/") if part)
 
+    def _query(self) -> Dict[str, str]:
+        """Query parameters, last value winning."""
+        if "?" not in self.path:
+            return {}
+        return {key: values[-1] for key, values in
+                parse_qs(self.path.split("?", 1)[1]).items()}
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         parts = self._parts()
         if parts == () or parts == ("dashboard",):
             self._send(200, DASHBOARD_HTML.encode(),
                        "text/html; charset=utf-8")
+            return
+        if parts == ("metrics",):
+            body = self.service.metrics_text().encode()
+            self._send(200, body,
+                       "text/plain; version=0.0.4; charset=utf-8")
             return
         if parts == ("api", "health"):
             self._json(200, {"status": "ok",
@@ -108,6 +130,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 return
             self._json(200, job.to_dict())
             return
+        if (len(parts) == 4 and parts[:2] == ("api", "jobs")
+                and parts[3] == "progress"):
+            self._progress_get(parts[2])
+            return
         if parts == ("api", "records"):
             self._json(200, self.service.store.summaries())
             return
@@ -115,6 +141,33 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._records_get(parts[2:])
             return
         self._error(404, f"no such route GET {self.path}")
+
+    #: Ceiling on one long-poll's block time; clients re-poll with the
+    #: returned version, so a short ceiling costs nothing but a request.
+    MAX_POLL_SECONDS = 30.0
+
+    def _progress_get(self, job_id: str) -> None:
+        """Long-poll one job's chunk-granular progress.
+
+        ``?since=<version>`` blocks until the service's progress version
+        passes it (or ``?timeout=<seconds>`` elapses, default 25, capped
+        at :data:`MAX_POLL_SECONDS`); omit ``since`` for an immediate
+        snapshot.  Terminal jobs always return immediately.
+        """
+        query = self._query()
+        try:
+            since = int(query.get("since", -1))
+            timeout = min(float(query.get("timeout", 25.0)),
+                          self.MAX_POLL_SECONDS)
+        except ValueError:
+            self._error(400, "since/timeout must be numeric")
+            return
+        payload = self.service.progress(job_id, since=since,
+                                        timeout=timeout)
+        if payload is None:
+            self._error(404, f"no such job {job_id!r}")
+            return
+        self._json(200, payload)
 
     def _records_get(self, parts: Tuple[str, ...]) -> None:
         record = self.service.store.load_key(parts[0])

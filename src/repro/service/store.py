@@ -81,9 +81,16 @@ class ResultStore:
         columns = ["time"] + sorted(key for key in series
                                     if key != "time")
         lines = [",".join(columns)]
-        for i in range(len(series.get("time", ()))):
-            lines.append(",".join(repr(float(series[column][i]))
-                                  for column in columns))
+        # Ragged columns (hand-edited or partial records) pad with empty
+        # cells rather than raising — a damaged record must degrade to
+        # odd CSV, never to a 500.
+        for i in range(len(series.get("time") or ())):
+            row = []
+            for column in columns:
+                values = series.get(column) or ()
+                row.append(repr(float(values[i])) if i < len(values)
+                           else "")
+            lines.append(",".join(row))
         return "\n".join(lines) + "\n"
 
     @classmethod
@@ -102,10 +109,12 @@ class ResultStore:
             {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
              "args": {"name": name}},
         ]
-        times = series.get("time", ())
+        times = series.get("time") or ()
         for column in sorted(key for key in series if key != "time"):
-            values = series[column]
+            values = series.get(column) or ()
             for i, time in enumerate(times):
+                if i >= len(values):  # ragged column: stop at its end
+                    break
                 events.append({
                     "ph": "C", "pid": 0, "tid": 0, "name": column,
                     "ts": float(time) * 1e6,

@@ -18,14 +18,19 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import multiprocessing
 import os
 import warnings
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..telemetry.log import event, get_logger
 from ..workloads.scenarios import AdversaryMix, ScenarioConfig
 from .checkpoint import CheckpointConfig, _jsonable, config_key
-from .experiment import ExperimentConfig, ExperimentResult, run_experiment
+from .experiment import ExperimentConfig, ExperimentResult, \
+    pool_worker_init, run_experiment
+
+_log = get_logger("sim.campaign")
 
 __all__ = ["Campaign", "CampaignError", "config_key", "parallel_map",
            "result_to_record"]
@@ -80,7 +85,8 @@ def parallel_map(func: Callable[[Any], Any], tasks: Iterable[Any], *,
     elif workers == 1 or len(tasks) <= 1:
         iterator = map(func, tasks)
     else:
-        owned = multiprocessing.Pool(processes=min(workers, len(tasks)))
+        owned = multiprocessing.Pool(processes=min(workers, len(tasks)),
+                                     initializer=pool_worker_init)
         iterator = owned.imap(func, tasks, chunksize=1)
     try:
         results: List[Any] = []
@@ -129,6 +135,7 @@ def result_to_record(config: ExperimentConfig,
         "invariant_violations": result.invariant_violations,
         "violations": _jsonable(result.violations),
         "profile": _jsonable(result.profile),
+        "runtime": _jsonable(result.runtime),
         "metrics": metrics,
         "physical": _jsonable(result.physical),
         "energy": _jsonable(result.energy),
@@ -257,6 +264,8 @@ class Campaign:
                     every=checkpoint_every,
                     directory=os.path.join(self._directory, "checkpoints")))
             pending.append((key, config))
+        event(_log, "campaign.run.start", pending=len(pending),
+              skipped=skipped, workers=workers, directory=self._directory)
         if workers == 1 or len(pending) <= 1:
             for key, config in pending:
                 if progress is not None:
@@ -266,6 +275,9 @@ class Campaign:
                 try:
                     record = result_to_record(config, run_experiment(config))
                 except Exception as exc:
+                    event(_log, "campaign.run.failed", level=logging.ERROR,
+                          config_key=key, executed=executed,
+                          pending=len(pending), error=str(exc))
                     raise CampaignError(
                         f"campaign run failed on [{key}] after {executed} "
                         f"of {len(pending)} pending records were persisted: "
@@ -273,6 +285,9 @@ class Campaign:
                     ) from exc
                 self._write(key, record)
                 executed += 1
+                event(_log, "campaign.record.persisted", config_key=key,
+                      wall_seconds=(record.get("runtime") or {}).get(
+                          "wall_seconds"))
             return executed, skipped
         if progress is not None:
             for key, config in pending:
@@ -284,6 +299,9 @@ class Campaign:
             key, record = outcome
             self._write(key, record)
             executed += 1
+            event(_log, "campaign.record.persisted", config_key=key,
+                  wall_seconds=(record.get("runtime") or {}).get(
+                      "wall_seconds"))
             if progress is not None:
                 progress(f"finished [{key}]")
 
@@ -295,6 +313,8 @@ class Campaign:
             parallel_map(_run_record, pending, workers=workers,
                          on_result=persist)
         except Exception as exc:
+            event(_log, "campaign.run.failed", level=logging.ERROR,
+                  executed=executed, pending=len(pending), error=str(exc))
             raise CampaignError(
                 f"campaign worker failed after {executed} of "
                 f"{len(pending)} pending records were persisted: {exc}",

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import signal
+import time
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence
@@ -59,6 +61,7 @@ from ..radio.geometry import Area, Position
 from ..radio.medium import Medium
 from ..radio.propagation import LogNormalShadowing, UnitDisk
 from ..radio.vectorized import VectorizedMedium
+from ..telemetry.runtime import runtime_block
 from ..tracing.recorder import TraceRecorder
 from ..workloads.scenarios import ScenarioConfig
 from ..workloads.sources import BroadcastEvent, periodic_source
@@ -74,8 +77,24 @@ from .checkpoint import (
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "ExperimentWorld",
            "RivalKnobs", "run_experiment", "resume_experiment",
-           "build_world", "finish_world", "run_many", "PROTOCOLS",
-           "SCHEMES", "MEDIA", "TIERS"]
+           "build_world", "finish_world", "run_many", "pool_worker_init",
+           "PROTOCOLS", "SCHEMES", "MEDIA", "TIERS"]
+
+
+def pool_worker_init() -> None:
+    """Reset inherited signal handlers in pool worker processes.
+
+    ``Pool.terminate()`` reaps its workers with SIGTERM.  A parent that
+    handles SIGTERM itself — ``repro serve``'s graceful shutdown — forks
+    workers that inherit the handler, swallow the reap signal, and hang
+    the pool's join forever.  SIGINT is ignored instead: a terminal
+    Ctrl-C reaches the whole foreground group, and the task in flight
+    should finish so the parent's handler can requeue at the chunk
+    boundary.  Every ``multiprocessing.Pool`` in the repo passes this as
+    its ``initializer``.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 #: The paper-canonical protocol set (kept for back-compat with pre-arena
 #: callers); the authoritative list is ``repro.arena.available_protocols()``.
@@ -249,6 +268,12 @@ class ExperimentResult:
     #: Observability payload (span stream, metric series, counters, run
     #: metadata); None unless the run was configured with ``observe``.
     trace: Optional[Dict[str, Any]] = None
+    #: Wall-clock/resource accounting (``wall_seconds``, ``peak_rss_kb``,
+    #: ``events``, ``events_per_second``, ``profile`` totals) — see
+    #: :mod:`repro.telemetry.runtime`.  Host-dependent by construction:
+    #: never part of ``config_key`` and always stripped from
+    #: byte-identity comparisons.
+    runtime: Optional[Dict[str, Any]] = None
 
     @property
     def protocol_transmissions(self) -> float:
@@ -324,10 +349,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     bypassed entirely: the calibrated mean-field model
     (:mod:`repro.sim.fluid`) produces the result analytically.
     """
+    start = time.perf_counter()
     if config.tier == "fluid":
         from .fluid import run_fluid_experiment
-        return run_fluid_experiment(config)
-    return _run_experiment_body(config)
+        result = run_fluid_experiment(config)
+    else:
+        result = _run_experiment_body(config)
+    return _finalize_runtime(result, time.perf_counter() - start)
 
 
 def resume_experiment(path: str) -> ExperimentResult:
@@ -339,7 +367,20 @@ def resume_experiment(path: str) -> ExperimentResult:
     have fired, so the result matches byte for byte (modulo profile
     wall-clock seconds).
     """
-    return finish_world(load_checkpoint(path))
+    start = time.perf_counter()
+    result = finish_world(load_checkpoint(path))
+    return _finalize_runtime(result, time.perf_counter() - start)
+
+
+def _finalize_runtime(result: ExperimentResult,
+                      wall_seconds: float) -> ExperimentResult:
+    """Replace the partial runtime stub :func:`finish_world` leaves (just
+    the kernel event count; None on the fluid tier) with the full
+    wall-clock block."""
+    events = (result.runtime or {}).get("events")
+    result.runtime = runtime_block(wall_seconds, events=events,
+                                   profile=result.profile)
+    return result
 
 
 def _scheme(config: ExperimentConfig):
@@ -637,6 +678,9 @@ def finish_world(world: ExperimentWorld) -> ExperimentResult:
         result.profile = world.profiler.summary()
     if world.obs is not None:
         result.trace = world.obs.export_payload()
+    # Partial runtime stub: the deterministic event count now, wall-clock
+    # fields once run_experiment/resume_experiment knows the elapsed time.
+    result.runtime = {"events": sim.events_fired}
     return result
 
 
@@ -655,7 +699,8 @@ def run_many(configs: Sequence[ExperimentConfig],
         raise ValueError(f"workers must be >= 1: {workers}")
     if workers == 1 or len(configs) <= 1:
         return [run_experiment(config) for config in configs]
-    with multiprocessing.Pool(processes=min(workers, len(configs))) as pool:
+    with multiprocessing.Pool(processes=min(workers, len(configs)),
+                              initializer=pool_worker_init) as pool:
         return pool.map(run_experiment, configs, chunksize=1)
 
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import merge_payloads
+from ..telemetry.runtime import merge_runtime
 from ..workloads.scenarios import ScenarioConfig
 from .checkpoint import CheckpointConfig
 from .experiment import (
@@ -158,4 +159,8 @@ def average_results(results: Sequence[ExperimentResult]) -> ExperimentResult:
         violations=[v for r in results for v in r.violations],
         profile=profile,
         trace=trace,
+        # Wall-clock accounting sums across replicates (total cost of the
+        # sweep point), peak RSS takes the max — see
+        # :func:`repro.telemetry.runtime.merge_runtime`.
+        runtime=merge_runtime([r.runtime for r in results]),
     )

@@ -1,0 +1,72 @@
+"""repro.telemetry — the *wall-clock* side of observability.
+
+The repo has two clocks and keeps them strictly apart:
+
+* :mod:`repro.obs` observes **virtual time** — deterministic lifecycle
+  spans and metric series inside a simulated run.  Its numbers are part
+  of the determinism contract (byte-identical across workers, media,
+  and resume).
+* :mod:`repro.telemetry` (this package) observes **wall-clock time** —
+  process-level counters/gauges/histograms for the campaign service,
+  structured JSON logs, per-run resource accounting, and the
+  pytest-benchmark regression sentinel.  Its numbers are host-dependent
+  by definition and therefore *never* participate in byte-identity
+  comparisons, ``config_key`` hashes, or anything a simulation reads.
+
+Pieces:
+
+* :mod:`repro.telemetry.metrics` — :class:`TelemetryRegistry` with
+  Counter/Gauge/Histogram, rendered in Prometheus text exposition
+  format (``GET /metrics``) and re-parsed by the validating
+  :func:`parse_exposition` the tests and CI smoke use.
+* :mod:`repro.telemetry.log` — one stdlib-logging JSONL emitter with
+  bound correlation fields (job id, config key) shared by the service
+  scheduler, campaign runner, fuzz engine, and HTTP layer.
+* :mod:`repro.telemetry.runtime` — the ``runtime`` block campaign
+  records carry (wall seconds, peak RSS, kernel events/sec) and its
+  sweep aggregation / stripping helpers.
+* :mod:`repro.telemetry.bench` — ``repro bench compare``: diff two
+  pytest-benchmark artifacts and fail on planted regressions.
+"""
+
+from .bench import (
+    BenchCompareError,
+    compare_artifacts,
+    format_report,
+    load_artifact,
+)
+from .log import JsonFormatter, bound, configure, current_fields, event, get_logger
+from .metrics import (
+    Counter,
+    ExpositionError,
+    Gauge,
+    Histogram,
+    TelemetryRegistry,
+    parse_exposition,
+    sample_value,
+)
+from .runtime import merge_runtime, peak_rss_kb, runtime_block, strip_runtime
+
+__all__ = [
+    "BenchCompareError",
+    "Counter",
+    "ExpositionError",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "TelemetryRegistry",
+    "bound",
+    "compare_artifacts",
+    "configure",
+    "current_fields",
+    "event",
+    "format_report",
+    "get_logger",
+    "load_artifact",
+    "merge_runtime",
+    "parse_exposition",
+    "peak_rss_kb",
+    "runtime_block",
+    "sample_value",
+    "strip_runtime",
+]

@@ -1,0 +1,157 @@
+"""``repro bench compare`` — the perf-regression sentinel.
+
+CI already produces machine-readable pytest-benchmark artifacts
+(``BENCH_a7.json`` etc.) on every run, but until now nothing compared
+them across runs, so a hot-path regression could land silently.  This
+module diffs two such artifacts per benchmark test with a configurable
+percent threshold and returns structured results the CLI turns into a
+table and a non-zero exit code.
+
+Comparison key is the benchmark ``fullname`` (file::test[param]) so
+parametrised benchmarks compare point-for-point.  The default metric is
+``min``: for CPU-bound microbenchmarks the minimum over rounds is the
+least noisy estimator of the true cost (mean/median absorb scheduler
+jitter).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "BenchCompareError",
+    "compare_artifacts",
+    "format_report",
+    "load_artifact",
+]
+
+#: Stats keys pytest-benchmark artifacts carry that make sense to diff.
+METRICS = ("min", "max", "mean", "median", "stddev", "iqr", "ops")
+
+
+class BenchCompareError(ValueError):
+    """The artifact is missing, malformed, or the inputs don't overlap."""
+
+
+def load_artifact(path: str) -> Dict[str, Dict[str, Any]]:
+    """Load a pytest-benchmark JSON artifact as ``{fullname: stats}``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise BenchCompareError(f"cannot read artifact {path!r}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise BenchCompareError(f"artifact {path!r} is not JSON: {exc}")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise BenchCompareError(
+            f"artifact {path!r} has no 'benchmarks' list — is it a "
+            "pytest-benchmark --benchmark-json output?")
+    table: Dict[str, Dict[str, Any]] = {}
+    for entry in benchmarks:
+        name = entry.get("fullname") or entry.get("name")
+        stats = entry.get("stats")
+        if not name or not isinstance(stats, dict):
+            raise BenchCompareError(
+                f"artifact {path!r}: benchmark entry missing "
+                f"fullname/stats: {entry!r:.120}")
+        table[name] = stats
+    return table
+
+
+def compare_artifacts(baseline: Dict[str, Dict[str, Any]],
+                      current: Dict[str, Dict[str, Any]],
+                      threshold_pct: float = 20.0,
+                      metric: str = "min") -> List[Dict[str, Any]]:
+    """Diff two loaded artifacts; one row per benchmark in either.
+
+    A row's ``status`` is ``regression`` when the current metric is more
+    than ``threshold_pct`` percent *slower* than baseline (``ops`` is a
+    rate, so slower means lower), ``improvement`` when faster by the
+    same margin, ``ok`` within the band, and ``baseline-only`` /
+    ``current-only`` for non-overlapping tests.  Raises when the two
+    artifacts share no benchmark at all — comparing disjoint artifacts
+    is a setup bug, not a clean pass.
+    """
+    if metric not in METRICS:
+        raise BenchCompareError(
+            f"unknown metric {metric!r}; choose from {', '.join(METRICS)}")
+    if threshold_pct < 0:
+        raise BenchCompareError(f"threshold must be >= 0: {threshold_pct}")
+    rows: List[Dict[str, Any]] = []
+    overlap = 0
+    for name in sorted(set(baseline) | set(current)):
+        base_stats = baseline.get(name)
+        cur_stats = current.get(name)
+        row: Dict[str, Any] = {"name": name, "metric": metric,
+                               "baseline": None, "current": None,
+                               "change_pct": None}
+        if base_stats is None:
+            row["status"] = "current-only"
+            row["current"] = _metric_of(cur_stats, metric, name)
+            rows.append(row)
+            continue
+        if cur_stats is None:
+            row["status"] = "baseline-only"
+            row["baseline"] = _metric_of(base_stats, metric, name)
+            rows.append(row)
+            continue
+        overlap += 1
+        base = _metric_of(base_stats, metric, name)
+        cur = _metric_of(cur_stats, metric, name)
+        row["baseline"] = base
+        row["current"] = cur
+        if base == 0:
+            row["status"] = "ok" if cur == 0 else "regression"
+            row["change_pct"] = None if cur == 0 else float("inf")
+        else:
+            change = (cur - base) / base * 100.0
+            if metric == "ops":  # higher is better: invert the sign
+                change = -change
+            row["change_pct"] = round(change, 2)
+            if change > threshold_pct:
+                row["status"] = "regression"
+            elif change < -threshold_pct:
+                row["status"] = "improvement"
+            else:
+                row["status"] = "ok"
+        rows.append(row)
+    if overlap == 0:
+        raise BenchCompareError(
+            "baseline and current artifacts share no benchmark names — "
+            "nothing to compare")
+    return rows
+
+
+def _metric_of(stats: Optional[Dict[str, Any]], metric: str,
+               name: str) -> float:
+    assert stats is not None
+    try:
+        return float(stats[metric])
+    except (KeyError, TypeError, ValueError):
+        raise BenchCompareError(
+            f"benchmark {name!r} has no numeric stat {metric!r}")
+
+
+def format_report(rows: List[Dict[str, Any]],
+                  threshold_pct: float = 20.0) -> str:
+    """Human-readable comparison table plus a one-line verdict."""
+    lines = [f"{'status':<13} {'change':>9}  {'baseline':>12} "
+             f"{'current':>12}  name"]
+    for row in rows:
+        change = row["change_pct"]
+        change_s = "-" if change is None else f"{change:+.1f}%"
+        base_s = "-" if row["baseline"] is None else f"{row['baseline']:.6g}"
+        cur_s = "-" if row["current"] is None else f"{row['current']:.6g}"
+        lines.append(f"{row['status']:<13} {change_s:>9}  {base_s:>12} "
+                     f"{cur_s:>12}  {row['name']}")
+    regressions = sum(1 for r in rows if r["status"] == "regression")
+    improved = sum(1 for r in rows if r["status"] == "improvement")
+    compared = sum(1 for r in rows
+                   if r["status"] in ("regression", "improvement", "ok"))
+    verdict = (f"{compared} compared, {regressions} regression(s), "
+               f"{improved} improvement(s) at ±{threshold_pct:g}% "
+               f"threshold")
+    lines.append(verdict)
+    return "\n".join(lines)

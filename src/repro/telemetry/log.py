@@ -1,0 +1,146 @@
+"""Structured JSONL logging for the campaign service and friends.
+
+One emitter, stdlib ``logging`` underneath, shared by the service
+scheduler, the campaign runner, the fuzz engine, and the HTTP layer so
+every service log line is a single JSON object with uniform fields:
+
+``{"ts": ..., "level": "info", "logger": "repro.service.scheduler",
+  "event": "job.completed", "job_id": "...", "config_key": "...", ...}``
+
+Correlation fields (job id, config key) thread through call stacks with
+:func:`bound`, a thread-local context stack, so a campaign chunk logged
+three frames below the scheduler still carries the job id.
+
+Quiet by default: loggers live under the ``repro`` namespace with no
+handler attached and stdlib's default WARNING effective level, so
+library users, the test suite, and benchmarks see zero output and pay
+only an ``isEnabledFor`` check (~100ns) per :func:`event` call.
+``repro serve`` calls :func:`configure` to attach the JSONL handler.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from typing import Any, Dict, Iterator, Optional, TextIO
+
+from contextlib import contextmanager
+
+__all__ = [
+    "JsonFormatter",
+    "bound",
+    "configure",
+    "current_fields",
+    "event",
+    "get_logger",
+]
+
+ROOT = "repro"
+
+_context = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_context, "stack", None)
+    if stack is None:
+        stack = _context.stack = []
+    return stack
+
+
+def current_fields() -> Dict[str, Any]:
+    """The merged bound-context fields for this thread (innermost wins)."""
+    merged: Dict[str, Any] = {}
+    for frame in _stack():
+        merged.update(frame)
+    return merged
+
+
+@contextmanager
+def bound(**fields: Any) -> Iterator[None]:
+    """Bind correlation fields to every :func:`event` in this thread.
+
+    ``with bound(job_id=job.id): ...`` — nested binds stack, inner
+    values shadow outer ones, and the frame pops on exit even if the
+    body raises.
+    """
+    stack = _stack()
+    stack.append(fields)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+class JsonFormatter(logging.Formatter):
+    """Render each record as one JSON object per line.
+
+    Event fields arrive on ``record.repro_fields`` (set by
+    :func:`event`); plain ``logger.info("text")`` calls from third
+    parties still come out as valid JSON with a ``message`` field.
+    """
+
+    def format(self, record: logging.Record) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+        }
+        fields = getattr(record, "repro_fields", None)
+        if fields:
+            payload.update(fields)
+        else:
+            payload["message"] = record.getMessage()
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (idempotent)."""
+    if name != ROOT and not name.startswith(ROOT + "."):
+        name = f"{ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def event(logger: logging.Logger, name: str, level: int = logging.INFO,
+          **fields: Any) -> None:
+    """Emit one structured event if the logger is enabled.
+
+    The ``isEnabledFor`` guard keeps the disabled path to a dict-free
+    attribute lookup, so instrumented hot paths cost nothing when the
+    service has not called :func:`configure`.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    merged = current_fields()
+    merged.update(fields)
+    merged["event"] = name
+    logger.log(level, name, extra={"repro_fields": merged})
+
+
+def configure(stream: Optional[TextIO] = None,
+              level: int = logging.INFO) -> logging.Handler:
+    """Attach the JSONL handler to the ``repro`` namespace root.
+
+    Idempotent: a second call replaces the previously-attached handler
+    rather than duplicating output.  Returns the handler (tests keep a
+    reference to detach or inspect it).
+    """
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_telemetry", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream) if stream is not None \
+        else logging.StreamHandler()
+    handler._repro_telemetry = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return handler
+
+
+def _now() -> float:  # seam for tests
+    return time.time()

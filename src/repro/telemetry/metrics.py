@@ -1,0 +1,419 @@
+"""Process-level (wall-clock) metrics with Prometheus text exposition.
+
+This is deliberately **not** :class:`repro.obs.registry.MetricRegistry`:
+that one samples *virtual* time inside a deterministic simulation and
+its output is part of the byte-identity contract.  This registry counts
+what the *process* does — jobs, queue depth, chunk wall-times, kernel
+events per wall second — and is served at ``GET /metrics`` in the
+Prometheus text exposition format (version 0.0.4), hand-rolled so the
+repo stays dependency-free.
+
+The same module ships :func:`parse_exposition`, a small validating
+parser for that format.  It exists so the test suite and the CI smoke
+can assert the endpoint emits *parseable* exposition (names, types,
+label syntax, histogram consistency) instead of merely greping for
+substrings.
+
+Thread-safety: every mutation and the renderer take the registry lock —
+HTTP handler threads scrape while the scheduler thread updates.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "ExpositionError",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "TelemetryRegistry",
+    "DEFAULT_BUCKETS",
+    "parse_exposition",
+    "sample_value",
+]
+
+#: Default histogram buckets (seconds) — tuned for experiment chunks,
+#: which range from sub-second smoke configs to multi-minute sweeps.
+DEFAULT_BUCKETS = (0.05, 0.25, 1.0, 5.0, 15.0, 60.0, 300.0)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _format_value(value: float) -> str:
+    """A value in exposition syntax: integers bare, floats via repr."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared bookkeeping: name, help text, owning-registry lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        self.name = _check_name(name)
+        self.help = help
+        self._lock = lock
+
+    def render(self) -> List[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, jobs, seconds of work)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        super().__init__(name, help, lock)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0: {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> List[str]:
+        return [f"{self.name} {_format_value(self._value)}"]
+
+
+class Gauge(_Metric):
+    """A value that goes both ways (queue depth, busy flag, rates)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        super().__init__(name, help, lock)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def render(self) -> List[str]:
+        return [f"{self.name} {_format_value(self._value)}"]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram of observed values (chunk wall-time).
+
+    Rendered Prometheus-style: ``<name>_bucket{le="..."}`` cumulative
+    counts ending at ``le="+Inf"``, plus ``<name>_sum`` / ``<name>_count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate bucket bounds: {buckets}")
+        self.bounds = bounds
+        self._counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def render(self) -> List[str]:
+        lines = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, self._counts):
+            cumulative = count  # counts are already cumulative per-bucket
+            lines.append(f'{self.name}_bucket{{le="{_format_value(bound)}"}}'
+                         f" {cumulative}")
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
+        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+
+class TelemetryRegistry:
+    """A named family of process metrics with one exposition document."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered as "
+                        f"{existing.kind}")
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help, self._lock))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help, self._lock))  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram(name, help, self._lock,
+                                        buckets=buckets))  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        out: List[str] = []
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if metric.help:
+                    safe = metric.help.replace("\\", "\\\\").replace(
+                        "\n", "\\n")
+                    out.append(f"# HELP {name} {safe}")
+                out.append(f"# TYPE {name} {metric.kind}")
+                out.extend(metric.render())
+        return "\n".join(out) + "\n"
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view (dashboards, tests): scalar metrics map to
+        their value, histograms to ``{"count", "sum"}``."""
+        with self._lock:
+            snap: Dict[str, Any] = {}
+            for name, metric in self._metrics.items():
+                if isinstance(metric, Histogram):
+                    snap[name] = {"count": metric._count,
+                                  "sum": metric._sum}
+                else:
+                    snap[name] = metric._value  # type: ignore[attr-defined]
+            return snap
+
+
+# ----------------------------------------------------------------------
+# The validating exposition parser (used by tests and the CI smoke)
+# ----------------------------------------------------------------------
+class ExpositionError(ValueError):
+    """The text is not valid Prometheus exposition format."""
+
+
+class MetricFamily:
+    """One parsed metric family: declared type, help, and its samples."""
+
+    def __init__(self, name: str, kind: str, help: Optional[str] = None):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        #: ``[(sample_name, labels, value)]`` in document order.
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def value(self, labels: Optional[Mapping[str, str]] = None,
+              series: Optional[str] = None) -> float:
+        """The single sample matching ``labels`` (default: unlabelled).
+
+        For histogram series pass ``series`` explicitly, e.g.
+        ``family.value({"le": "+Inf"}, series=f"{name}_bucket")`` or
+        ``family.value(series=f"{name}_count")``.
+        """
+        wanted = dict(labels or {})
+        target = series or self.name
+        for sample_name, sample_labels, value in self.samples:
+            if sample_name == target and sample_labels == wanted:
+                return value
+        raise KeyError(f"no sample {target}{wanted!r}")
+
+
+def _parse_labels(text: str, line_no: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not text:
+        return labels
+    for part in text.split(","):
+        match = _LABEL_RE.match(part.strip())
+        if match is None:
+            raise ExpositionError(
+                f"line {line_no}: malformed label {part!r}")
+        labels[match.group(1)] = (
+            match.group(2).replace('\\"', '"').replace("\\n", "\n")
+            .replace("\\\\", "\\"))
+    return labels
+
+
+def _parse_value(text: str, line_no: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(f"line {line_no}: bad sample value {text!r}")
+
+
+def _family_of(sample_name: str) -> str:
+    """The family a histogram-series sample belongs to."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_exposition(text: str) -> Dict[str, MetricFamily]:
+    """Parse (and validate) a Prometheus text exposition document.
+
+    Checks the properties the repo's endpoint promises: metric-name and
+    label syntax, ``# TYPE`` declared before samples, samples only for
+    declared families (histograms may use ``_bucket``/``_sum``/
+    ``_count`` series), parseable float values, a ``+Inf`` bucket and
+    bucket-monotonicity for histograms.  Raises :class:`ExpositionError`
+    on any violation; returns ``{family_name: MetricFamily}``.
+    """
+    families: Dict[str, MetricFamily] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            if not _NAME_RE.match(name):
+                raise ExpositionError(
+                    f"line {line_no}: bad metric name in HELP: {name!r}")
+            if name in families:
+                raise ExpositionError(
+                    f"line {line_no}: HELP after TYPE/samples for {name!r}")
+            families[name] = MetricFamily(name, "untyped", help=help_text)
+            families[name].kind = ""  # pending TYPE
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            if not _NAME_RE.match(name):
+                raise ExpositionError(
+                    f"line {line_no}: bad metric name in TYPE: {name!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ExpositionError(
+                    f"line {line_no}: unknown metric type {kind!r}")
+            family = families.get(name)
+            if family is None:
+                family = families[name] = MetricFamily(name, kind)
+            elif family.kind:
+                raise ExpositionError(
+                    f"line {line_no}: duplicate TYPE for {name!r}")
+            else:
+                family.kind = kind
+            if family.samples:
+                raise ExpositionError(
+                    f"line {line_no}: TYPE for {name!r} after its samples")
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        # A sample line: name[{labels}] value [timestamp]
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                         r"(?:\{(.*)\})?\s+(\S+)(?:\s+(-?\d+))?$", line)
+        if match is None:
+            raise ExpositionError(f"line {line_no}: malformed sample "
+                                  f"{line!r}")
+        sample_name, label_text, value_text = match.group(1, 2, 3)
+        labels = _parse_labels(label_text or "", line_no)
+        value = _parse_value(value_text, line_no)
+        family = families.get(_family_of(sample_name))
+        if family is None or not family.kind:
+            raise ExpositionError(
+                f"line {line_no}: sample {sample_name!r} has no preceding "
+                "# TYPE declaration")
+        if (sample_name != family.name and family.kind not in
+                ("histogram", "summary")):
+            raise ExpositionError(
+                f"line {line_no}: series {sample_name!r} not allowed for "
+                f"{family.kind} {family.name!r}")
+        family.samples.append((sample_name, labels, value))
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Dict[str, MetricFamily]) -> None:
+    for family in families.values():
+        if family.kind != "histogram":
+            continue
+        buckets = [(labels.get("le"), value)
+                   for name, labels, value in family.samples
+                   if name == f"{family.name}_bucket"]
+        if not buckets:
+            raise ExpositionError(
+                f"histogram {family.name!r} has no _bucket samples")
+        if buckets[-1][0] != "+Inf":
+            raise ExpositionError(
+                f"histogram {family.name!r} must end with an le=\"+Inf\" "
+                "bucket")
+        counts = [value for _, value in buckets]
+        if any(later < earlier
+               for earlier, later in zip(counts, counts[1:])):
+            raise ExpositionError(
+                f"histogram {family.name!r} buckets are not cumulative")
+        series = {name for name, _, _ in family.samples}
+        for required in (f"{family.name}_sum", f"{family.name}_count"):
+            if required not in series:
+                raise ExpositionError(
+                    f"histogram {family.name!r} is missing {required}")
+
+
+def sample_value(families: Mapping[str, MetricFamily], name: str,
+                 labels: Optional[Mapping[str, str]] = None) -> float:
+    """Convenience: the value of one (family, labels) sample."""
+    if name not in families:
+        raise KeyError(f"no metric family {name!r}")
+    return families[name].value(labels)

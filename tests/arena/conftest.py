@@ -58,8 +58,12 @@ def arena_config(protocol: str, *, seed: int = FAULT_FREE_SEED,
 
 
 def canonical(config: ExperimentConfig, result) -> str:
-    """The byte string a campaign would persist for this run."""
-    return json.dumps(result_to_record(config, result), sort_keys=True)
+    """The byte string a campaign would persist for this run, minus the
+    wall-clock ``runtime`` block (host timing is never part of the
+    determinism contract — see :mod:`repro.telemetry.runtime`)."""
+    record = result_to_record(config, result)
+    record.pop("runtime", None)
+    return json.dumps(record, sort_keys=True)
 
 
 def canonical_sans_config(config: ExperimentConfig, result) -> str:
@@ -68,6 +72,7 @@ def canonical_sans_config(config: ExperimentConfig, result) -> str:
     settings themselves)."""
     record = result_to_record(config, result)
     record.pop("config")
+    record.pop("runtime", None)
     return json.dumps(record, sort_keys=True)
 
 

@@ -34,9 +34,17 @@ SPEC = {"protocol": "byzcast", "param": "mute", "values": [0, 1],
 
 
 def read_records(directory):
-    return {name: open(os.path.join(directory, name), "rb").read()
-            for name in sorted(os.listdir(directory))
-            if name.endswith(".json")}
+    """Parsed records by file name, minus the wall-clock ``runtime``
+    block — host timing is never part of the determinism contract."""
+    records = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name)) as handle:
+            record = json.load(handle)
+        record.pop("runtime", None)
+        records[name] = record
+    return records
 
 
 class TestCacheAndByteIdentity:
@@ -108,6 +116,7 @@ class TestCheckpointResume:
         key = config_key(config)
         baseline = result_to_record(config, run_experiment(config))
         baseline.pop("config")
+        baseline.pop("runtime", None)
 
         service = CampaignService(str(tmp_path / "svc"), workers=1,
                                   checkpoint_every=1.0)
@@ -138,6 +147,7 @@ class TestCheckpointResume:
 
         record = service.store.load_key(key)
         record.pop("config")
+        record.pop("runtime", None)
         assert record == baseline
         assert not os.path.exists(checkpoint_path(ckpt_dir, key))
 

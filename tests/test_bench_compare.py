@@ -1,0 +1,165 @@
+"""``repro bench compare`` — the perf-regression sentinel.
+
+The acceptance criterion under test: a planted >= 20% slowdown in a
+pytest-benchmark artifact is detected and exits non-zero; noise inside
+the band stays green.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.bench import (
+    BenchCompareError,
+    compare_artifacts,
+    format_report,
+    load_artifact,
+)
+
+
+def artifact(tmp_path, name, stats_by_test):
+    """Write a minimal pytest-benchmark --benchmark-json artifact."""
+    payload = {"benchmarks": [
+        {"fullname": fullname, "name": fullname.split("::")[-1],
+         "stats": stats}
+        for fullname, stats in stats_by_test.items()
+    ]}
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+STATS_FAST = {"min": 0.100, "max": 0.140, "mean": 0.110,
+              "median": 0.108, "stddev": 0.01, "iqr": 0.008, "ops": 9.1}
+STATS_SLOW = {"min": 0.150, "max": 0.210, "mean": 0.165,
+              "median": 0.162, "stddev": 0.015, "iqr": 0.012, "ops": 6.1}
+STATS_NOISE = {"min": 0.105, "max": 0.150, "mean": 0.116,
+               "median": 0.113, "stddev": 0.011, "iqr": 0.009, "ops": 8.7}
+
+
+class TestLoadArtifact:
+    def test_round_trip(self, tmp_path):
+        path = artifact(tmp_path, "b.json", {"bench.py::test_x": STATS_FAST})
+        assert load_artifact(path) == {"bench.py::test_x": STATS_FAST}
+
+    def test_missing_file(self):
+        with pytest.raises(BenchCompareError):
+            load_artifact("/nonexistent/bench.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(BenchCompareError):
+            load_artifact(str(path))
+
+    def test_wrong_shape(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"results": []}))
+        with pytest.raises(BenchCompareError):
+            load_artifact(str(path))
+
+
+class TestCompare:
+    def test_planted_regression_detected(self):
+        (row,) = compare_artifacts({"t": STATS_FAST}, {"t": STATS_SLOW},
+                                   threshold_pct=20.0)
+        assert row["status"] == "regression"
+        assert row["change_pct"] == pytest.approx(50.0)
+
+    def test_noise_within_band_is_ok(self):
+        (row,) = compare_artifacts({"t": STATS_FAST}, {"t": STATS_NOISE},
+                                   threshold_pct=20.0)
+        assert row["status"] == "ok"
+
+    def test_improvement_flagged(self):
+        (row,) = compare_artifacts({"t": STATS_SLOW}, {"t": STATS_FAST},
+                                   threshold_pct=20.0)
+        assert row["status"] == "improvement"
+
+    def test_ops_metric_inverts_direction(self):
+        # ops dropped 9.1 -> 6.1: a slowdown, so a regression even
+        # though the raw number went *down*.
+        (row,) = compare_artifacts({"t": STATS_FAST}, {"t": STATS_SLOW},
+                                   threshold_pct=20.0, metric="ops")
+        assert row["status"] == "regression"
+        assert row["change_pct"] > 20.0
+
+    def test_non_overlapping_tests_reported(self):
+        rows = compare_artifacts(
+            {"shared": STATS_FAST, "gone": STATS_FAST},
+            {"shared": STATS_FAST, "new": STATS_FAST})
+        by_name = {row["name"]: row["status"] for row in rows}
+        assert by_name == {"shared": "ok", "gone": "baseline-only",
+                           "new": "current-only"}
+
+    def test_disjoint_artifacts_raise(self):
+        with pytest.raises(BenchCompareError):
+            compare_artifacts({"a": STATS_FAST}, {"b": STATS_FAST})
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(BenchCompareError):
+            compare_artifacts({"t": STATS_FAST}, {"t": STATS_FAST},
+                              metric="vibes")
+
+    def test_missing_stat_rejected(self):
+        with pytest.raises(BenchCompareError):
+            compare_artifacts({"t": {"mean": 1.0}}, {"t": {"mean": 1.0}},
+                              metric="min")
+
+    def test_zero_baseline_edge(self):
+        (row,) = compare_artifacts({"t": {"min": 0.0}},
+                                   {"t": {"min": 0.1}})
+        assert row["status"] == "regression"
+
+
+class TestFormatReport:
+    def test_report_has_verdict_line(self):
+        rows = compare_artifacts({"t": STATS_FAST}, {"t": STATS_SLOW})
+        report = format_report(rows, threshold_pct=20.0)
+        assert "regression" in report
+        assert "1 regression(s)" in report
+
+
+class TestCli:
+    def run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_regression_exits_nonzero(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"t": STATS_FAST})
+        cur = artifact(tmp_path, "cur.json", {"t": STATS_SLOW})
+        code, output = self.run(["bench", "compare", base, cur])
+        assert code == 1
+        assert "regression" in output
+
+    def test_clean_compare_exits_zero(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"t": STATS_FAST})
+        cur = artifact(tmp_path, "cur.json", {"t": STATS_NOISE})
+        code, output = self.run(["bench", "compare", base, cur])
+        assert code == 0
+        assert "0 regression(s)" in output
+
+    def test_warn_only_downgrades_exit(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"t": STATS_FAST})
+        cur = artifact(tmp_path, "cur.json", {"t": STATS_SLOW})
+        code, output = self.run(["bench", "compare", base, cur,
+                                 "--warn-only"])
+        assert code == 0
+        assert "warn-only" in output
+
+    def test_threshold_flag_moves_the_band(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"t": STATS_FAST})
+        cur = artifact(tmp_path, "cur.json", {"t": STATS_SLOW})
+        code, _ = self.run(["bench", "compare", base, cur,
+                            "--threshold", "80"])
+        assert code == 0
+
+    def test_broken_artifact_exits_two(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"t": STATS_FAST})
+        code, output = self.run(["bench", "compare", base,
+                                 str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "bench compare failed" in output

@@ -47,8 +47,11 @@ def small_config(schedule, seed, stack=None):
 
 
 def canonical(config, result):
-    """The byte string a campaign would persist for this run."""
-    return json.dumps(result_to_record(config, result), sort_keys=True)
+    """The byte string a campaign would persist for this run, minus the
+    wall-clock ``runtime`` block (host timing is never deterministic)."""
+    record = result_to_record(config, result)
+    record.pop("runtime", None)
+    return json.dumps(record, sort_keys=True)
 
 
 @settings(max_examples=8, **RELAXED)
@@ -105,6 +108,7 @@ def test_cache_toggle_preserves_records(schedule, seed):
         record = result_to_record(config, run_experiment(config))
         record.pop("key")
         record.pop("config")
+        record.pop("runtime", None)
         return json.dumps(record, sort_keys=True)
 
     assert stripped(cached_config) == stripped(uncached_config)
@@ -214,6 +218,7 @@ def test_observation_does_not_perturb_the_run():
         record = result_to_record(config, result)
         record.pop("config")
         record.pop("metrics")
+        record.pop("runtime", None)
         return json.dumps(record, sort_keys=True)
 
     plain = run_experiment(plain_config)

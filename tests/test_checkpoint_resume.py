@@ -69,9 +69,12 @@ def base_config(seed=3, chaos=None):
 
 def canonical(config, result):
     """The record a campaign would persist, minus the config block —
-    the acceptance criterion's "byte-identical modulo config block"."""
+    the acceptance criterion's "byte-identical modulo config block" —
+    and minus the wall-clock ``runtime`` block (host timing is never
+    part of the determinism contract)."""
     record = result_to_record(config, result)
     record.pop("config")
+    record.pop("runtime", None)
     return json.dumps(record, sort_keys=True)
 
 
@@ -187,6 +190,8 @@ def test_campaign_resumes_interrupted_worker(tmp_path, workers):
         got = dict(record)
         expected.pop("config")
         got.pop("config")
+        expected.pop("runtime", None)
+        got.pop("runtime", None)
         assert got == expected
     # All snapshots cleaned up after their runs completed.
     assert not [name for name in os.listdir(ckpt_dir)
@@ -417,7 +422,9 @@ def test_sigterm_killed_worker_resumes_identically(tmp_path):
 
     baseline = result_to_record(config, run_experiment(config))
     baseline.pop("config")
+    baseline.pop("runtime", None)
     (record,) = campaign.records()
     record.pop("config")
+    record.pop("runtime", None)
     assert record == baseline
     assert not os.path.exists(ckpt)   # consumed on completion

@@ -171,6 +171,7 @@ class TestExperimentProfile:
             record.pop("profile")
             record.pop("key")      # config hash differs by the flag
             record.pop("config")
+            record.pop("runtime", None)  # embeds profile totals + wall
         assert (json.dumps(plain_rec, sort_keys=True)
                 == json.dumps(prof_rec, sort_keys=True))
 

@@ -1,0 +1,142 @@
+"""Structured JSONL logging: formatter, context binding, quiet default."""
+
+import io
+import json
+import logging
+import threading
+
+from repro.telemetry.log import (
+    bound,
+    configure,
+    current_fields,
+    event,
+    get_logger,
+)
+
+ROOT_LOGGER = logging.getLogger("repro")
+
+
+def drain(handler_stream):
+    return [json.loads(line)
+            for line in handler_stream.getvalue().splitlines()]
+
+
+class TestJsonOutput:
+    def teardown_method(self):
+        for handler in list(ROOT_LOGGER.handlers):
+            if getattr(handler, "_repro_telemetry", False):
+                ROOT_LOGGER.removeHandler(handler)
+
+    def test_event_emits_one_json_object_per_line(self):
+        stream = io.StringIO()
+        configure(stream)
+        log = get_logger("test.emit")
+        event(log, "thing.happened", job_id="j1", count=3)
+        (record,) = drain(stream)
+        assert record["event"] == "thing.happened"
+        assert record["job_id"] == "j1"
+        assert record["count"] == 3
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test.emit"
+        assert isinstance(record["ts"], float)
+
+    def test_level_threading(self):
+        stream = io.StringIO()
+        configure(stream)
+        log = get_logger("test.levels")
+        event(log, "debug.event", level=logging.DEBUG)   # below INFO
+        event(log, "error.event", level=logging.ERROR)
+        records = drain(stream)
+        assert [r["event"] for r in records] == ["error.event"]
+        assert records[0]["level"] == "error"
+
+    def test_plain_logging_calls_still_emit_valid_json(self):
+        stream = io.StringIO()
+        configure(stream)
+        get_logger("test.plain").info("hello %s", "world")
+        (record,) = drain(stream)
+        assert record["message"] == "hello world"
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        configure(io.StringIO())
+        configure(stream)   # replaces, does not stack
+        event(get_logger("test.idem"), "once")
+        assert len(drain(stream)) == 1
+        marked = [h for h in ROOT_LOGGER.handlers
+                  if getattr(h, "_repro_telemetry", False)]
+        assert len(marked) == 1
+
+    def test_exception_field(self):
+        stream = io.StringIO()
+        configure(stream)
+        log = get_logger("test.exc")
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            log.exception("failed")
+        (record,) = drain(stream)
+        assert "RuntimeError: boom" in record["exception"]
+
+
+class TestBoundContext:
+    def teardown_method(self):
+        for handler in list(ROOT_LOGGER.handlers):
+            if getattr(handler, "_repro_telemetry", False):
+                ROOT_LOGGER.removeHandler(handler)
+
+    def test_bound_fields_reach_events(self):
+        stream = io.StringIO()
+        configure(stream)
+        log = get_logger("test.bound")
+        with bound(job_id="j9"):
+            event(log, "inner")
+        event(log, "outer")
+        inner, outer = drain(stream)
+        assert inner["job_id"] == "j9"
+        assert "job_id" not in outer
+
+    def test_nested_binds_inner_wins_and_pop_on_exit(self):
+        with bound(job_id="a", extra=1):
+            with bound(job_id="b"):
+                assert current_fields() == {"job_id": "b", "extra": 1}
+            assert current_fields() == {"job_id": "a", "extra": 1}
+        assert current_fields() == {}
+
+    def test_bound_pops_even_when_body_raises(self):
+        try:
+            with bound(job_id="x"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert current_fields() == {}
+
+    def test_explicit_fields_shadow_bound_ones(self):
+        stream = io.StringIO()
+        configure(stream)
+        with bound(job_id="bound"):
+            event(get_logger("test.shadow"), "e", job_id="explicit")
+        (record,) = drain(stream)
+        assert record["job_id"] == "explicit"
+
+    def test_context_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["fields"] = current_fields()
+
+        with bound(job_id="main-only"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["fields"] == {}
+
+
+class TestQuietDefault:
+    def test_no_output_without_configure(self, capsys):
+        # The repo-wide default: libraries and tests see zero log noise.
+        log = get_logger("test.quiet")
+        event(log, "invisible", payload="x" * 100)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
